@@ -1,0 +1,11 @@
+"""Pytest configuration for the benchmark harness.
+
+Makes the ``helpers`` module importable from every benchmark file regardless
+of how pytest sets up ``sys.path`` (the benchmarks directory is not a
+package on purpose — each file is a standalone experiment).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

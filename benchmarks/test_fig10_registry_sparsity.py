@@ -1,0 +1,94 @@
+"""Figure 10 — the overall registry and the registry-sparsity effect.
+
+Paper setup: the group-1 federation with N = 1000, ρ = 10, EMD_avg = 1.5,
+G = {1, 2, 10} and the searched thresholds σ₁ = 0.7, σ₂ = 0.1.  The figure
+shows (a) the contents of the overall registry — how many clients fall into
+each category — and (b) the average participated class proportion over 100
+selections: much flatter than the ρ = 10 global distribution, but minority
+classes (8, 9) still sit below the 0.1 uniform share because *no client has
+them as a dominating class* (registry sparsity).
+
+This benchmark runs at the paper's federation size and reproduces both
+panels: the registry description and the average population proportion, then
+checks the sparsity effect (classes with no dominating clients stay the most
+under-represented ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers import print_table
+from repro.core import DubheConfig, DubheSelector
+from repro.data import EMDTargetPartitioner, half_normal_class_proportions
+
+N_CLIENTS = 1000
+K = 20
+RHO = 10.0
+EMD_AVG = 1.5
+REPETITIONS = 100
+PAPER_THRESHOLDS = {1: 0.7, 2: 0.1, 10: 0.0}
+
+
+def paper_scale() -> dict:
+    return {"n_clients": 1000, "k": 20, "rho": 10, "emd_avg": 1.5,
+            "thresholds": {"sigma_1": 0.7, "sigma_2": 0.1},
+            "paper_minority_shares": {"class_8": 0.0753, "class_9": 0.0632}}
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_registry_and_population(benchmark):
+    global_dist = half_normal_class_proportions(10, RHO)
+    partition = EMDTargetPartitioner(N_CLIENTS, 128, EMD_AVG, seed=8).partition(global_dist)
+    distributions = partition.client_distributions()
+    config = DubheConfig(num_classes=10, reference_set=(1, 2, 10),
+                         thresholds=PAPER_THRESHOLDS, participants_per_round=K,
+                         tentative_selections=1, seed=8)
+
+    def experiment():
+        selector = DubheSelector(distributions, config, seed=8)
+        populations = []
+        for r in range(REPETITIONS):
+            selected = selector.select(r)
+            populations.append(distributions[np.asarray(selected)].mean(axis=0))
+        return selector, np.mean(populations, axis=0)
+
+    selector, avg_population = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    # panel (a): the overall registry
+    entries = selector.codebook.describe(selector.overall_registry, max_entries=12)
+    print_table("Figure 10(a): overall registry (top categories by client count)", [
+        {"category": str(e["category"]), "dominating": e["block"], "clients": int(e["count"])}
+        for e in entries
+    ])
+
+    # panel (b): average participated class proportion vs global distribution
+    rows = []
+    for c in range(10):
+        rows.append({
+            "class": c,
+            "global_share": round(float(global_dist[c]), 4),
+            "participated_share": round(float(avg_population[c]), 4),
+            "uniform_target": 0.1,
+        })
+    print_table("Figure 10(b): average participated class proportion (100 selections)", rows)
+
+    # the participated proportion is flatter than the global distribution
+    uniform = np.full(10, 0.1)
+    assert np.abs(avg_population - uniform).sum() < np.abs(global_dist - uniform).sum()
+
+    # registry sparsity: classes that never dominate any client stay the most
+    # under-represented ones in the participated proportion
+    single_block = selector.overall_registry[selector.codebook.block_slice(1)]
+    pair_block = selector.overall_registry[selector.codebook.block_slice(2)]
+    dominated_by_class = single_block.copy()
+    for j, category in enumerate(selector.codebook._block_combos[2]):
+        for c in category:
+            dominated_by_class[c] += pair_block[j]
+    rare_classes = np.flatnonzero(dominated_by_class == 0)
+    print(f"\nclasses never dominating any client: {rare_classes.tolist()}")
+    if rare_classes.size:
+        assert avg_population[rare_classes].max() < 0.1
+    # minority classes remain below their uniform share (the paper's 0.0753/0.0632)
+    assert avg_population[9] < 0.1

@@ -1,0 +1,108 @@
+"""§6.4 — encryption and communication overhead of Dubhe.
+
+Paper numbers (Paillier with 2048-bit keys, pure-Python implementation):
+
+* registries of length 56 / 53 → plaintext 0.47–0.49 KB, ciphertext
+  29.6–31.28 KB, encryption ≈ 6.9 s, decryption ≈ 1.9 s;
+* the multi-time distribution vector (C = 52) → plaintext 0.68 KB,
+  ciphertext 29.1 KB, encryption ≈ 6.8 s, decryption ≈ 1.7 s;
+* communication: ``K`` check-ins per round as in any FL system, plus ``N``
+  registry messages per re-registration and ``≈ H·K`` messages per round for
+  multi-time client determination.
+
+The registry/ciphertext sizes depend only on the key size and the vector
+length, so they are reproduced exactly.  Timing depends on the machine and
+the bignum implementation; this benchmark measures the real encrypt/decrypt
+cost of this repository's Paillier at several key sizes (including the
+paper's 2048 bits) so the scaling — seconds per registry, negligible next to
+hours of training — is visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import print_table
+from repro.core import communication_overhead, measure_encryption_overhead
+
+REGISTRY_LENGTHS = (56, 53)
+DISTRIBUTION_LENGTH = 52
+KEY_SIZES = (256, 1024, 2048)
+
+
+def paper_scale() -> dict:
+    return {"key_size": 2048,
+            "paper_registry": {"plaintext_kb": (0.47, 0.49), "ciphertext_kb": (29.6, 31.28),
+                               "encrypt_s": 6.9, "decrypt_s": 1.9},
+            "paper_distribution": {"plaintext_kb": 0.68, "ciphertext_kb": 29.1,
+                                   "encrypt_s": 6.8, "decrypt_s": 1.7}}
+
+
+@pytest.mark.benchmark(group="sec64")
+def test_sec64_encryption_overhead(benchmark):
+    """Registry / distribution-vector encryption cost across key sizes."""
+
+    def experiment():
+        reports = []
+        for key_size in KEY_SIZES:
+            for length in (*REGISTRY_LENGTHS, DISTRIBUTION_LENGTH):
+                reports.append(measure_encryption_overhead(
+                    vector_length=length, key_size=key_size, trials=1, rng_seed=0,
+                ))
+        return reports
+
+    reports = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table("§6.4: measured encryption overhead", [r.as_row() for r in reports])
+
+    by_key = {k: [r for r in reports if r.key_size == k] for k in KEY_SIZES}
+
+    # ciphertext expansion: tens of KB at 2048 bits for a length-56 registry,
+    # matching the paper's 29.6-31.3 KB
+    paper_scale_report = next(r for r in by_key[2048] if r.vector_length == 56)
+    assert 25.0 <= paper_scale_report.ciphertext_kb <= 40.0
+    assert 0.3 <= paper_scale_report.plaintext_kb <= 0.7
+    assert paper_scale_report.expansion_factor > 25
+
+    # cost grows with the key size (both bytes and time)
+    for length in (56,):
+        small = next(r for r in by_key[256] if r.vector_length == length)
+        large = next(r for r in by_key[2048] if r.vector_length == length)
+        assert large.ciphertext_bytes > small.ciphertext_bytes
+        assert large.encrypt_seconds > small.encrypt_seconds
+
+    # even at 2048 bits the per-registry cost is seconds, not minutes —
+    # negligible next to a training round (the paper's argument)
+    assert paper_scale_report.encrypt_seconds < 60
+    assert paper_scale_report.decrypt_seconds < 60
+
+
+@pytest.mark.benchmark(group="sec64")
+def test_sec64_communication_overhead(benchmark):
+    """Per-round message counts for the paper's two federation sizes."""
+
+    def experiment():
+        rows = []
+        for n_clients, k in ((1000, 20), (8962, 20)):
+            for h, multitime in ((1, False), (10, True)):
+                report = communication_overhead(
+                    n_clients=n_clients, participants_per_round=k,
+                    tentative_selections=h, reregistration=True,
+                    multitime_determination=multitime,
+                )
+                rows.append({
+                    "N": n_clients, "K": k, "H": h,
+                    "baseline": report.baseline_messages,
+                    "registration": report.registration_messages,
+                    "multi_time": report.multitime_messages,
+                    "total": report.dubhe_total,
+                })
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table("§6.4: communication messages per round", rows)
+
+    # registration costs exactly N messages; multi-time costs H*K
+    for row in rows:
+        assert row["registration"] == row["N"]
+        assert row["multi_time"] in (0, row["H"] * row["K"])
+        assert row["total"] == row["baseline"] + row["registration"] + row["multi_time"]

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CIFAR-like federated training under heavy global skew (Figure 6 scenario).
+
+Reproduces — at reduced scale — the paper's headline training comparison:
+on a CIFAR-like dataset with global imbalance ratio ρ = 10 and client
+discrepancy EMD_avg = 1.5, train the same CNN with random, greedy and Dubhe
+client selection, and watch random selection stall at a biased optimum while
+Dubhe tracks the greedy upper bound.
+
+The default configuration finishes in a few minutes on CPU; pass
+``--rounds``/``--clients`` to scale it up towards the paper's setting
+(N = 1000, K = 20, 1000 rounds).
+
+Run it with::
+
+    python examples/skewed_cifar_training.py
+    python examples/skewed_cifar_training.py --rounds 60 --clients 300
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    DubheConfig,
+    DubheSelector,
+    FederatedConfig,
+    FederatedSimulation,
+    GreedySelector,
+    LocalTrainingConfig,
+    RandomSelector,
+    make_uniform_test_set,
+    quick_federation,
+    search_thresholds,
+)
+from repro.nn.models import CifarCNN
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=100)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--rounds", type=int, default=20)
+    parser.add_argument("--rho", type=float, default=10.0)
+    parser.add_argument("--emd", type=float, default=1.5)
+    args = parser.parse_args()
+
+    partition, generator = quick_federation(
+        n_clients=args.clients, samples_per_client=32, rho=args.rho,
+        emd_avg=args.emd, dataset="cifar", seed=0,
+    )
+    distributions = partition.client_distributions()
+    test_set = make_uniform_test_set(generator, samples_per_class=20, seed=1)
+    print(f"CIFAR-like federation: N={args.clients}, K={args.k}, "
+          f"ρ={partition.achieved_rho():.1f}, EMD_avg={partition.achieved_emd_avg():.2f}")
+
+    config = DubheConfig(num_classes=10, reference_set=(1, 2, 10),
+                         participants_per_round=args.k, tentative_selections=5, seed=0)
+    settled = search_thresholds(distributions, config, sigma_grid=(0.1, 0.3, 0.5, 0.7), seed=0)
+
+    def make_selector(name: str):
+        if name == "random":
+            return RandomSelector(distributions, args.k, seed=2)
+        if name == "greedy":
+            return GreedySelector(distributions, args.k, seed=2)
+        return DubheSelector(distributions, settled.config, seed=2)
+
+    print(f"\nTraining {args.rounds} rounds with each selection method")
+    results = {}
+    for name in ("random", "dubhe", "greedy"):
+        sim = FederatedSimulation(
+            partition=partition,
+            generator=generator,
+            model_factory=lambda: CifarCNN(3, 8, 10, channels=(8, 16, 16), hidden=32, seed=5),
+            selector=make_selector(name),
+            test_set=test_set,
+            config=FederatedConfig(
+                rounds=args.rounds,
+                eval_every=max(1, args.rounds // 20),
+                local=LocalTrainingConfig(batch_size=8, local_epochs=1, learning_rate=2e-3),
+                seed=2,
+            ),
+        )
+        history = sim.run(progress=lambda r: print(
+            f"  [{name:>6}] round {r.round_index:>3}  "
+            f"bias={r.population_bias:.3f}"
+            + (f"  acc={r.test_accuracy:.3f}" if r.test_accuracy is not None else "")
+        ) if r.round_index % 5 == 0 else None)
+        results[name] = history
+        print(f"  {name:<7}: final acc={history.final_accuracy():.3f}  "
+              f"tail acc={history.tail_average_accuracy(5):.3f}  "
+              f"mean bias={history.mean_population_bias():.3f}")
+
+    print("\nSummary (higher accuracy / lower bias is better)")
+    for name, history in results.items():
+        print(f"  {name:<7}: tail accuracy={history.tail_average_accuracy(5):.3f}  "
+              f"mean ||p_o − p_u||₁={history.mean_population_bias():.3f}")
+
+
+if __name__ == "__main__":
+    main()

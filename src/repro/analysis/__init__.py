@@ -1,0 +1,26 @@
+"""Measurement and theory-validation utilities.
+
+Public API
+----------
+* :func:`measure_selection_bias`, :class:`SelectionBiasStats`,
+  :func:`baseline_global_bias` — ``||p_o − p_u||₁`` statistics (Figure 9).
+* :func:`run_unbiasedness_sweep`, :class:`UnbiasednessSweep`,
+  :func:`bias_reduction` — the participation-rate sweep.
+* :func:`weight_divergence_experiment`, :class:`DivergenceReport` — the
+  empirical counterpart of eq. (2).
+"""
+
+from .divergence import DivergenceReport, weight_divergence_experiment
+from .emd import SelectionBiasStats, baseline_global_bias, measure_selection_bias
+from .unbiasedness import UnbiasednessSweep, bias_reduction, run_unbiasedness_sweep
+
+__all__ = [
+    "DivergenceReport",
+    "SelectionBiasStats",
+    "UnbiasednessSweep",
+    "baseline_global_bias",
+    "bias_reduction",
+    "measure_selection_bias",
+    "run_unbiasedness_sweep",
+    "weight_divergence_experiment",
+]

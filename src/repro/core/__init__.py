@@ -1,0 +1,82 @@
+"""Dubhe: the paper's client-selection system (the core contribution).
+
+Public API
+----------
+* :class:`DubheConfig` — reference set ``G``, thresholds ``σ_i``, ``K``, ``H``.
+* :class:`RegistryCodebook`, :class:`RegistrationResult`,
+  :class:`ClientCategory` — the registry and Algorithm 1.
+* probability rules — :func:`participation_probability`,
+  :func:`expected_participants`, :func:`bernoulli_participation`.
+* selectors — :class:`RandomSelector`, :class:`GreedySelector`,
+  :class:`DubheSelector`.
+* multi-time selection — :func:`multi_time_selection`,
+  :class:`MultiTimeResult`.
+* parameter search — :func:`search_thresholds`,
+  :class:`ParameterSearchResult`.
+* secure protocol — :class:`SecureRegistrationRound`,
+  :class:`SecureDistributionAggregation`, :class:`SecureAggregationServer`,
+  :class:`SecureClient`, :class:`ProtocolStats`.
+* overhead accounting — :func:`measure_encryption_overhead`,
+  :func:`communication_overhead`.
+"""
+
+from .config import GROUP1_REFERENCE_SET, GROUP2_REFERENCE_SET, DubheConfig
+from .multitime import MultiTimeResult, TentativeTry, multi_time_selection
+from .overhead import (
+    CommunicationOverheadReport,
+    EncryptionOverheadReport,
+    communication_overhead,
+    measure_encryption_overhead,
+)
+from .parameter_search import ParameterSearchResult, default_sigma_grid, search_thresholds
+from .probability import (
+    bernoulli_participation,
+    expected_category_count,
+    expected_participants,
+    participation_probabilities,
+    participation_probability,
+)
+from .registry import ClientCategory, RegistrationResult, RegistryCodebook
+from .secure import (
+    ProtocolStats,
+    SecureAggregationServer,
+    SecureClient,
+    SecureDistributionAggregation,
+    SecureRegistrationRound,
+)
+from .secure_selector import SecureDubheSelector
+from .selectors import ClientSelector, DubheSelector, GreedySelector, RandomSelector
+
+__all__ = [
+    "ClientCategory",
+    "ClientSelector",
+    "CommunicationOverheadReport",
+    "DubheConfig",
+    "DubheSelector",
+    "EncryptionOverheadReport",
+    "GROUP1_REFERENCE_SET",
+    "GROUP2_REFERENCE_SET",
+    "GreedySelector",
+    "MultiTimeResult",
+    "ParameterSearchResult",
+    "ProtocolStats",
+    "RandomSelector",
+    "RegistrationResult",
+    "RegistryCodebook",
+    "SecureAggregationServer",
+    "SecureClient",
+    "SecureDistributionAggregation",
+    "SecureDubheSelector",
+    "SecureRegistrationRound",
+    "TentativeTry",
+    "bernoulli_participation",
+    "communication_overhead",
+    "default_sigma_grid",
+    "expected_category_count",
+    "expected_participants",
+    "measure_encryption_overhead",
+    "multi_time_selection",
+    "participation_probabilities",
+    "participation_probability",
+    "search_thresholds",
+]

@@ -1,0 +1,111 @@
+"""Configuration of the Dubhe client-selection system.
+
+Collects every knob the paper exposes: the reference set ``G`` of possible
+numbers of dominating classes, the per-``i`` thresholds ``σ_i``, the round
+participation target ``K``, the number of tentative multi-time selections
+``H``, and the Paillier key size used by the secure path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..crypto.paillier import DEFAULT_KEY_SIZE
+
+__all__ = ["DubheConfig", "GROUP1_REFERENCE_SET", "GROUP2_REFERENCE_SET"]
+
+#: Reference set used by the paper for the 10-class experiments (MNIST/CIFAR10).
+GROUP1_REFERENCE_SET: tuple[int, ...] = (1, 2, 10)
+
+#: Reference set used by the paper for the 52-class FEMNIST experiment.
+GROUP2_REFERENCE_SET: tuple[int, ...] = (1, 52)
+
+
+@dataclass(frozen=True)
+class DubheConfig:
+    """All Dubhe hyper-parameters in one immutable object.
+
+    Parameters
+    ----------
+    num_classes:
+        Label-space size ``C``.
+    reference_set:
+        The set ``G ⊆ [C]`` of possible numbers of dominating classes.  The
+        paper requires ``C ∈ G`` (the "no dominating class" bucket whose
+        threshold is fixed at 0); this is validated here.
+    thresholds:
+        Mapping ``i → σ_i`` for every ``i ∈ G`` except ``C`` (``σ_C = 0`` is
+        implied).  Found by the parameter-search procedure when omitted.
+    participants_per_round:
+        Target number of participating clients per round (``K``).
+    tentative_selections:
+        Number of tentative draws ``H`` in the multi-time selection
+        (``H = 1`` reduces to a one-off selection).
+    key_size:
+        Paillier modulus size in bits for the secure protocol.
+    """
+
+    num_classes: int
+    reference_set: tuple[int, ...] = GROUP1_REFERENCE_SET
+    thresholds: Mapping[int, float] = field(default_factory=dict)
+    participants_per_round: int = 20
+    tentative_selections: int = 1
+    key_size: int = DEFAULT_KEY_SIZE
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError("num_classes must be at least 2")
+        ref = tuple(sorted(set(int(i) for i in self.reference_set)))
+        if not ref:
+            raise ValueError("reference_set must not be empty")
+        if any(i < 1 or i > self.num_classes for i in ref):
+            raise ValueError("reference_set entries must lie in [1, num_classes]")
+        if self.num_classes not in ref:
+            raise ValueError(
+                "the paper requires C (the 'no dominating class' bucket) to be in G"
+            )
+        object.__setattr__(self, "reference_set", ref)
+        thresholds = {int(k): float(v) for k, v in dict(self.thresholds).items()}
+        for i, sigma in thresholds.items():
+            if i not in ref:
+                raise ValueError(f"threshold given for i={i} not in the reference set")
+            if i == self.num_classes and sigma != 0.0:
+                raise ValueError("σ_C is fixed at 0 by the paper")
+            if not 0 <= sigma <= 1:
+                raise ValueError("thresholds must lie in [0, 1]")
+        thresholds.setdefault(self.num_classes, 0.0)
+        object.__setattr__(self, "thresholds", thresholds)
+        if self.participants_per_round < 1:
+            raise ValueError("participants_per_round must be positive")
+        if self.tentative_selections < 1:
+            raise ValueError("tentative_selections must be positive")
+        if self.key_size < 16:
+            raise ValueError("key_size too small")
+
+    # -- helpers -------------------------------------------------------------------
+
+    def threshold_for(self, i: int) -> float:
+        """The threshold ``σ_i`` (raises if the reference-set entry has no value yet)."""
+        if i not in self.reference_set:
+            raise KeyError(f"{i} is not in the reference set")
+        if i not in self.thresholds:
+            raise KeyError(f"threshold σ_{i} has not been set (run parameter search)")
+        return self.thresholds[i]
+
+    def has_all_thresholds(self) -> bool:
+        """Whether every reference-set entry has a threshold assigned."""
+        return all(i in self.thresholds for i in self.reference_set)
+
+    def with_thresholds(self, thresholds: Mapping[int, float]) -> "DubheConfig":
+        """A copy of this config with new thresholds (used by parameter search)."""
+        return DubheConfig(
+            num_classes=self.num_classes,
+            reference_set=self.reference_set,
+            thresholds=dict(thresholds),
+            participants_per_round=self.participants_per_round,
+            tentative_selections=self.tentative_selections,
+            key_size=self.key_size,
+            seed=self.seed,
+        )

@@ -1,0 +1,89 @@
+"""Multi-time (H-time) tentative selection (§5.3).
+
+Because registries and label distributions travel under additive HE, the
+federation can cheaply *rehearse* a selection several times before committing:
+each tentative try produces a candidate participant set whose population
+distribution is scored (by the agent) against the uniform distribution, and
+the best try wins.  The same machinery scores candidate thresholds during the
+parameter search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["TentativeTry", "MultiTimeResult", "multi_time_selection"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TentativeTry:
+    """One tentative draw and its unbiasedness score ``||p_o,h − p_u||₁``."""
+
+    index: int
+    candidate: tuple
+    score: float
+    population: np.ndarray
+
+
+@dataclass(frozen=True)
+class MultiTimeResult:
+    """Outcome of an H-time selection."""
+
+    best: TentativeTry
+    tries: tuple[TentativeTry, ...]
+
+    @property
+    def best_score(self) -> float:
+        return self.best.score
+
+    @property
+    def scores(self) -> np.ndarray:
+        return np.array([t.score for t in self.tries])
+
+    @property
+    def mean_population(self) -> np.ndarray:
+        """``E_h(p_o,h)`` — the statistic scored by the parameter search."""
+        return np.mean([t.population for t in self.tries], axis=0)
+
+
+def multi_time_selection(
+    draw: Callable[[int], Sequence[int]],
+    population_of: Callable[[Sequence[int]], np.ndarray],
+    uniform: np.ndarray,
+    tries: int,
+) -> MultiTimeResult:
+    """Run *tries* tentative draws and keep the one closest to uniform.
+
+    Parameters
+    ----------
+    draw:
+        ``draw(h)`` produces the candidate participant set of tentative try
+        ``h`` (client indices).
+    population_of:
+        Maps a candidate set to its population distribution ``p_o``.
+    uniform:
+        The target distribution ``p_u``.
+    tries:
+        Number of tentative selections ``H``.
+    """
+    if tries < 1:
+        raise ValueError("tries must be positive")
+    uniform = np.asarray(uniform, dtype=float)
+    results: list[TentativeTry] = []
+    for h in range(tries):
+        candidate = tuple(draw(h))
+        if len(candidate) == 0:
+            # an empty draw is maximally biased; keep it only if every try is empty
+            population = uniform * 0.0
+            score = float(np.abs(uniform).sum()) + 1.0
+        else:
+            population = np.asarray(population_of(candidate), dtype=float)
+            score = float(np.abs(population - uniform).sum())
+        results.append(TentativeTry(h, candidate, score, population))
+    best = min(results, key=lambda t: t.score)
+    return MultiTimeResult(best, tuple(results))

@@ -1,0 +1,110 @@
+"""Participation-probability calculation (eq. (6)–(8) of the paper).
+
+After the overall registry ``R_A`` is decrypted by the clients, each client
+``k`` in category ``u`` computes its own participation probability
+
+``P^(t,k) = min(1, K / (R_A(u) · ||R_A||₀))``
+
+where ``R_A(u)`` is the number of clients registered in the same category and
+``||R_A||₀`` the number of non-empty categories.  Two identities follow and
+are verified by the tests and the property-based suite:
+
+* the expected number of participants is exactly ``K`` (eq. (7)), provided
+  ``K < ||R_A||₀ · min_u R_A(u)`` so no probability saturates at 1;
+* the expected number of participants *per category* is ``K / ||R_A||₀``
+  (eq. (8)), which is what equalises the frequency of each class appearing as
+  a dominating class and thereby flattens the population distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .registry import RegistrationResult, RegistryCodebook
+
+__all__ = [
+    "participation_probability",
+    "participation_probabilities",
+    "expected_participants",
+    "expected_category_count",
+    "bernoulli_participation",
+]
+
+
+def participation_probability(overall_registry: np.ndarray, category_index: int,
+                              participants_per_round: int) -> float:
+    """Eq. (6) for a single client given its category's flat registry index."""
+    overall = np.asarray(overall_registry, dtype=float)
+    if participants_per_round < 1:
+        raise ValueError("participants_per_round must be positive")
+    if not 0 <= category_index < overall.size:
+        raise IndexError("category index out of range")
+    support = int(np.count_nonzero(overall))
+    if support == 0:
+        raise ValueError("overall registry is empty")
+    count_in_category = overall[category_index]
+    if count_in_category <= 0:
+        # the client's own registration guarantees R_A(u) >= 1 in a consistent
+        # protocol; a zero here means the caller passed mismatched inputs
+        raise ValueError("category has no registered clients in the overall registry")
+    return float(min(1.0, participants_per_round / (count_in_category * support)))
+
+
+def participation_probabilities(codebook: RegistryCodebook,
+                                registrations: Sequence[RegistrationResult],
+                                overall_registry: np.ndarray,
+                                participants_per_round: int) -> np.ndarray:
+    """Eq. (6) evaluated for every registered client."""
+    return np.array([
+        participation_probability(overall_registry, reg.index, participants_per_round)
+        for reg in registrations
+    ])
+
+
+def expected_participants(overall_registry: np.ndarray, participants_per_round: int) -> float:
+    """Eq. (7): the expected size of the selection pool ``E|S_t|``.
+
+    Equals ``K`` exactly when no category's probability saturates at 1;
+    saturated categories contribute their full client count instead.
+    """
+    overall = np.asarray(overall_registry, dtype=float)
+    support = int(np.count_nonzero(overall))
+    if support == 0:
+        raise ValueError("overall registry is empty")
+    total = 0.0
+    for count in overall[overall > 0]:
+        p = min(1.0, participants_per_round / (count * support))
+        total += count * p
+    return float(total)
+
+
+def expected_category_count(overall_registry: np.ndarray, category_index: int,
+                            participants_per_round: int) -> float:
+    """Eq. (8): the expected number of participants from one category."""
+    overall = np.asarray(overall_registry, dtype=float)
+    support = int(np.count_nonzero(overall))
+    if support == 0:
+        raise ValueError("overall registry is empty")
+    count = overall[category_index]
+    if count <= 0:
+        return 0.0
+    p = min(1.0, participants_per_round / (count * support))
+    return float(count * p)
+
+
+def bernoulli_participation(probabilities: np.ndarray,
+                            rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Each client independently decides to participate (client autonomy).
+
+    Returns the indices of clients whose Bernoulli draw succeeded.  This is
+    the step where Dubhe's "clients proactively participate" property lives:
+    the server never picks specific clients, it only learns who volunteered.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    if np.any(probabilities < 0) or np.any(probabilities > 1):
+        raise ValueError("probabilities must lie in [0, 1]")
+    rng = rng if rng is not None else np.random.default_rng()
+    draws = rng.random(probabilities.shape)
+    return np.flatnonzero(draws < probabilities)

@@ -1,0 +1,190 @@
+"""The Dubhe registry: codebook construction and Algorithm 1 registration.
+
+The registry (§5.1) is the one-hot encrypted vector through which a client
+reveals — only in aggregate, never individually — which classes dominate its
+local data.  Its codebook is the concatenation of one block per element
+``i ∈ G``: block ``i`` has one slot per *combination* of ``i`` classes
+(``C(C, i)`` slots), and a client whose ``i`` dominating classes are
+``u = (c_1 < … < c_i)`` flips exactly the slot of that combination.
+
+Algorithm 1 decides which block a client falls into: starting from the
+smallest ``i ∈ G``, check whether the client's ``i``-th largest class
+proportion reaches the threshold ``σ_i``; the first block that matches wins,
+and the final block ``i = C`` (``σ_C = 0``) always matches, meaning "no
+dominating classes / locally balanced".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from math import comb
+from typing import Sequence
+
+import numpy as np
+
+from .config import DubheConfig
+
+__all__ = ["ClientCategory", "RegistryCodebook", "RegistrationResult"]
+
+
+@dataclass(frozen=True)
+class ClientCategory:
+    """A client's category ``u``: its dominating classes (sorted ascending)."""
+
+    classes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("a category must contain at least one class")
+        if list(self.classes) != sorted(set(self.classes)):
+            raise ValueError("category classes must be sorted and unique")
+
+    @property
+    def size(self) -> int:
+        return len(self.classes)
+
+    def __iter__(self):
+        return iter(self.classes)
+
+
+@dataclass(frozen=True)
+class RegistrationResult:
+    """Output of Algorithm 1 for one client."""
+
+    registry: np.ndarray          # the one-hot registry vector R^(t,k)
+    category: ClientCategory      # the client category u^(t,k)
+    block: int                    # which i ∈ G the client fell into
+    index: int                    # flat index of the flipped slot
+
+
+class RegistryCodebook:
+    """Maps between client categories and registry vector positions."""
+
+    def __init__(self, config: DubheConfig):
+        if not config.has_all_thresholds():
+            raise ValueError("all thresholds must be set before building the codebook")
+        self.config = config
+        self.num_classes = config.num_classes
+        self.reference_set = config.reference_set
+        # per-block combination tables (ascending class tuples, lexicographic)
+        self._block_offset: dict[int, int] = {}
+        self._block_combos: dict[int, list[tuple[int, ...]]] = {}
+        self._combo_to_index: dict[tuple[int, ...], int] = {}
+        offset = 0
+        for i in self.reference_set:
+            combos = list(combinations(range(self.num_classes), i))
+            self._block_offset[i] = offset
+            self._block_combos[i] = combos
+            for j, combo in enumerate(combos):
+                self._combo_to_index[combo] = offset + j
+            offset += len(combos)
+        self.length = offset
+
+    # -- codebook geometry -------------------------------------------------------
+
+    def block_length(self, i: int) -> int:
+        """Number of slots in block ``i`` (the combination count ``C(C, i)``)."""
+        if i not in self._block_combos:
+            raise KeyError(f"{i} is not in the reference set")
+        return comb(self.num_classes, i)
+
+    def block_slice(self, i: int) -> slice:
+        """The slice of the flat registry covered by block ``i``."""
+        if i not in self._block_offset:
+            raise KeyError(f"{i} is not in the reference set")
+        start = self._block_offset[i]
+        return slice(start, start + self.block_length(i))
+
+    def index_of(self, category: ClientCategory | Sequence[int]) -> int:
+        """Flat registry index of a category."""
+        classes = tuple(category.classes if isinstance(category, ClientCategory) else
+                        sorted(category))
+        if classes not in self._combo_to_index:
+            raise KeyError(f"category {classes} is not representable by this codebook")
+        return self._combo_to_index[classes]
+
+    def category_of(self, index: int) -> ClientCategory:
+        """Inverse of :meth:`index_of`."""
+        if not 0 <= index < self.length:
+            raise IndexError("registry index out of range")
+        for i in self.reference_set:
+            block = self.block_slice(i)
+            if block.start <= index < block.stop:
+                return ClientCategory(self._block_combos[i][index - block.start])
+        raise IndexError("registry index out of range")  # pragma: no cover - unreachable
+
+    def empty_registry(self) -> np.ndarray:
+        """An all-zero registry vector of the right length."""
+        return np.zeros(self.length)
+
+    # -- Algorithm 1 ----------------------------------------------------------------
+
+    def register(self, distribution: np.ndarray) -> RegistrationResult:
+        """Run Algorithm 1 on a client's label distribution.
+
+        Walks the reference set in ascending order; for each candidate number
+        of dominating classes ``i``, takes the top-``i`` classes of the
+        distribution and checks whether the ``i``-th largest proportion
+        reaches ``σ_i``.  The ``i = C`` bucket (``σ_C = 0``) always matches,
+        so every client registers exactly once.
+        """
+        p = np.asarray(distribution, dtype=float)
+        if p.shape != (self.num_classes,):
+            raise ValueError(
+                f"distribution must have shape ({self.num_classes},), got {p.shape}"
+            )
+        if np.any(p < 0) or not np.isclose(p.sum(), 1.0, atol=1e-6):
+            raise ValueError("distribution must be a probability vector")
+        # classes ordered by decreasing proportion (ties broken by class id,
+        # matching the argmax scan in Algorithm 1)
+        order = np.lexsort((np.arange(self.num_classes), -p))
+        for i in self.reference_set:
+            sigma = self.config.threshold_for(i)
+            if i > self.num_classes:
+                continue
+            top = order[:i]
+            m_i = p[top[-1]] if i <= len(order) else 0.0
+            if i == self.num_classes or m_i >= sigma:
+                category = ClientCategory(tuple(sorted(int(c) for c in top)))
+                index = self.index_of(category)
+                registry = self.empty_registry()
+                registry[index] = 1.0
+                return RegistrationResult(registry, category, block=i, index=index)
+        raise RuntimeError("Algorithm 1 failed to register the client")  # pragma: no cover
+
+    def register_many(self, distributions: Sequence[np.ndarray] | np.ndarray,
+                      ) -> list[RegistrationResult]:
+        """Register every client of a federation (row per client)."""
+        return [self.register(np.asarray(p)) for p in distributions]
+
+    def aggregate(self, registrations: Sequence[RegistrationResult]) -> np.ndarray:
+        """The overall registry ``R_A = Σ_k R^(t,k)`` (plaintext path)."""
+        if not registrations:
+            raise ValueError("cannot aggregate zero registrations")
+        total = self.empty_registry()
+        for reg in registrations:
+            total += reg.registry
+        return total
+
+    def describe(self, overall_registry: np.ndarray, max_entries: int | None = None) -> list[dict]:
+        """Human-readable view of an overall registry (Figure 10 style).
+
+        Returns one record per non-zero slot: the category, its block and the
+        client count, sorted by decreasing count.
+        """
+        overall = np.asarray(overall_registry)
+        if overall.shape != (self.length,):
+            raise ValueError("overall registry has the wrong length")
+        entries = []
+        for index in np.flatnonzero(overall):
+            category = self.category_of(int(index))
+            entries.append({
+                "category": tuple(category.classes),
+                "block": category.size,
+                "count": float(overall[index]),
+            })
+        entries.sort(key=lambda e: -e["count"])
+        if max_entries is not None:
+            entries = entries[:max_entries]
+        return entries

@@ -1,0 +1,222 @@
+"""The encrypted registration / selection protocol (the HE side of Dubhe).
+
+Roles, matching Figure 3/4 of the paper:
+
+* **clients** hold plaintext label distributions, fill registries locally,
+  and encrypt everything they transmit with the round public key;
+* the **server** only ever touches ciphertexts: it sums the encrypted
+  registries (or encrypted distributions during multi-time selection) and
+  forwards aggregates — it never holds the private key;
+* the **agent** (a randomly chosen client) generates the round key-pair,
+  dispatches it to clients, and performs decryption duties on aggregates.
+
+The protocol classes below also meter every byte and message they move so
+the §6.4 overhead study reads its numbers from the same code path the
+selection uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..crypto.keyagent import KeyAgent
+from ..crypto.paillier import PaillierPublicKey
+from ..crypto.vector import EncryptedVector, plaintext_vector_bytes
+from .config import DubheConfig
+from .registry import RegistrationResult, RegistryCodebook
+
+__all__ = [
+    "ProtocolStats",
+    "SecureAggregationServer",
+    "SecureClient",
+    "SecureRegistrationRound",
+    "SecureDistributionAggregation",
+]
+
+
+@dataclass
+class ProtocolStats:
+    """Bytes, messages and wall-time spent by one protocol execution."""
+
+    messages: int = 0
+    plaintext_bytes: int = 0
+    ciphertext_bytes: int = 0
+    encrypt_seconds: float = 0.0
+    decrypt_seconds: float = 0.0
+
+    def merged_with(self, other: "ProtocolStats") -> "ProtocolStats":
+        return ProtocolStats(
+            messages=self.messages + other.messages,
+            plaintext_bytes=self.plaintext_bytes + other.plaintext_bytes,
+            ciphertext_bytes=self.ciphertext_bytes + other.ciphertext_bytes,
+            encrypt_seconds=self.encrypt_seconds + other.encrypt_seconds,
+            decrypt_seconds=self.decrypt_seconds + other.decrypt_seconds,
+        )
+
+    @property
+    def expansion_factor(self) -> float:
+        """Ciphertext size relative to plaintext size."""
+        if self.plaintext_bytes == 0:
+            return 0.0
+        return self.ciphertext_bytes / self.plaintext_bytes
+
+
+class SecureAggregationServer:
+    """The honest-but-curious server: aggregates ciphertexts, nothing else.
+
+    The class deliberately has no attribute that could hold a private key and
+    no decryption method — tests assert this structural property.
+    """
+
+    def __init__(self, public_key: PaillierPublicKey):
+        self.public_key = public_key
+        self._received: list[EncryptedVector] = []
+        self.stats = ProtocolStats()
+
+    def receive(self, ciphertext: EncryptedVector) -> None:
+        """Accept one client's encrypted vector."""
+        if ciphertext.public_key != self.public_key:
+            raise ValueError("ciphertext was produced under a different round key")
+        self._received.append(ciphertext)
+        self.stats.messages += 1
+        self.stats.ciphertext_bytes += ciphertext.nbytes()
+
+    def aggregate(self) -> EncryptedVector:
+        """Homomorphically sum every received vector (still encrypted)."""
+        if not self._received:
+            raise ValueError("no ciphertexts received")
+        return EncryptedVector.sum(self._received)
+
+    @property
+    def received_count(self) -> int:
+        return len(self._received)
+
+    def reset(self) -> None:
+        self._received = []
+
+
+class SecureClient:
+    """A client's view of the secure protocol: encrypt before transmitting."""
+
+    def __init__(self, client_id: int, distribution: np.ndarray):
+        self.client_id = client_id
+        self.distribution = np.asarray(distribution, dtype=float)
+        self.registration: Optional[RegistrationResult] = None
+        self.stats = ProtocolStats()
+
+    def register(self, codebook: RegistryCodebook) -> RegistrationResult:
+        """Run Algorithm 1 locally (plaintext never leaves the client)."""
+        self.registration = codebook.register(self.distribution)
+        return self.registration
+
+    def _encrypt(self, values: np.ndarray, public_key: PaillierPublicKey) -> EncryptedVector:
+        start = perf_counter()
+        ciphertext = EncryptedVector.encrypt(public_key, values)
+        self.stats.encrypt_seconds += perf_counter() - start
+        self.stats.messages += 1
+        self.stats.plaintext_bytes += plaintext_vector_bytes(values)
+        self.stats.ciphertext_bytes += ciphertext.nbytes()
+        return ciphertext
+
+    def encrypted_registry(self, public_key: PaillierPublicKey) -> EncryptedVector:
+        """The encrypted registry this client sends to the server."""
+        if self.registration is None:
+            raise RuntimeError("client has not registered yet")
+        return self._encrypt(self.registration.registry, public_key)
+
+    def encrypted_distribution(self, public_key: PaillierPublicKey) -> EncryptedVector:
+        """The encrypted label distribution sent during multi-time selection."""
+        return self._encrypt(self.distribution, public_key)
+
+
+@dataclass
+class SecureRegistrationRound:
+    """One full registration round: keygen → encrypt → aggregate → decrypt.
+
+    Returns the overall registry exactly as each client would decrypt it,
+    plus the overhead statistics of every role.
+    """
+
+    config: DubheConfig
+    agent: Optional[KeyAgent] = None
+    _stats: ProtocolStats = field(default_factory=ProtocolStats)
+
+    def run(self, client_distributions: Sequence[np.ndarray] | np.ndarray,
+            ) -> tuple[np.ndarray, list[RegistrationResult], ProtocolStats]:
+        """Execute the protocol for every client distribution given."""
+        distributions = np.asarray(client_distributions, dtype=float)
+        if distributions.ndim != 2:
+            raise ValueError("client_distributions must be 2-D")
+        codebook = RegistryCodebook(self.config)
+        agent = self.agent or KeyAgent(key_size=self.config.key_size)
+        keypair = agent.new_round()
+        n_clients = distributions.shape[0]
+        agent.dispatch_public_key(n_clients)
+        agent.dispatch_private_key(n_clients)
+
+        clients = [SecureClient(k, distributions[k]) for k in range(n_clients)]
+        server = SecureAggregationServer(keypair.public_key)
+        registrations: list[RegistrationResult] = []
+        for client in clients:
+            registrations.append(client.register(codebook))
+            server.receive(client.encrypted_registry(keypair.public_key))
+        encrypted_total = server.aggregate()
+
+        # every client can decrypt the synchronized aggregate with sk_t; we
+        # decrypt once (the result is identical for every client)
+        start = perf_counter()
+        overall = encrypted_total.decrypt(keypair.private_key)
+        decrypt_seconds = perf_counter() - start
+
+        stats = ProtocolStats()
+        for client in clients:
+            stats = stats.merged_with(client.stats)
+        stats = stats.merged_with(server.stats)
+        stats.decrypt_seconds += decrypt_seconds
+        # synchronising the aggregate back to N clients is N more messages
+        stats.messages += n_clients
+        stats.ciphertext_bytes += encrypted_total.nbytes() * n_clients
+        self._stats = stats
+        return overall, registrations, stats
+
+
+class SecureDistributionAggregation:
+    """The multi-time-selection data path: encrypted ``p_l`` aggregation.
+
+    The selected clients of a tentative try encrypt their label
+    distributions; the server sums the ciphertexts; the agent decrypts the
+    aggregate and scores ``||p_o − p_u||₁``.  Population distributions of
+    individual clients are never visible to the server.
+    """
+
+    def __init__(self, config: DubheConfig, agent: Optional[KeyAgent] = None):
+        self.config = config
+        self.agent = agent or KeyAgent(key_size=config.key_size)
+        self.keypair = self.agent.new_round()
+        self.stats = ProtocolStats()
+
+    def score_selection(self, client_distributions: np.ndarray,
+                        selected: Sequence[int]) -> float:
+        """Return ``||p_o − p_u||₁`` for *selected*, computed under encryption."""
+        distributions = np.asarray(client_distributions, dtype=float)
+        selected = list(selected)
+        if not selected:
+            raise ValueError("cannot score an empty selection")
+        server = SecureAggregationServer(self.keypair.public_key)
+        clients = [SecureClient(k, distributions[k]) for k in selected]
+        for client in clients:
+            server.receive(client.encrypted_distribution(self.keypair.public_key))
+        aggregate = server.aggregate()
+        uniform = np.full(self.config.num_classes, 1.0 / self.config.num_classes)
+        score = self.agent.score_population(aggregate, uniform)
+        round_stats = ProtocolStats()
+        for client in clients:
+            round_stats = round_stats.merged_with(client.stats)
+        round_stats = round_stats.merged_with(server.stats)
+        round_stats.decrypt_seconds += 0.0
+        self.stats = self.stats.merged_with(round_stats)
+        return score

@@ -1,0 +1,191 @@
+"""The three client-selection strategies compared in the paper.
+
+* :class:`RandomSelector` — the baseline: ``K`` clients uniformly at random.
+* :class:`GreedySelector` — the Astraea-style "optimal" bound: the server
+  greedily builds the set that minimises the KL divergence between the
+  selected population distribution and uniform.  It needs every client's
+  plaintext label distribution, which is exactly the privacy leak Dubhe
+  avoids; it is implemented here as the upper bound the paper compares
+  against.
+* :class:`DubheSelector` — the paper's contribution: clients register their
+  dominating classes in a (homomorphically encryptable) registry, compute
+  their own participation probability from the aggregated registry
+  (eq. (6)), volunteer by Bernoulli draw, and the server only tops the pool
+  up / trims it down to exactly ``K``.  Optional multi-time selection picks
+  the most balanced of ``H`` tentative pools.
+
+All selectors implement ``select(round_index) -> list[int]`` so they plug
+into :class:`repro.federated.FederatedSimulation` interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.distributions import kl_divergence, uniform_distribution
+from .config import DubheConfig
+from .multitime import MultiTimeResult, multi_time_selection
+from .probability import bernoulli_participation, participation_probabilities
+from .registry import RegistryCodebook
+
+__all__ = ["ClientSelector", "RandomSelector", "GreedySelector", "DubheSelector"]
+
+
+class ClientSelector:
+    """Common interface and bookkeeping of all selection strategies."""
+
+    name = "base"
+
+    def __init__(self, client_distributions: np.ndarray, participants_per_round: int,
+                 seed: Optional[int] = None):
+        distributions = np.asarray(client_distributions, dtype=float)
+        if distributions.ndim != 2:
+            raise ValueError("client_distributions must be 2-D (clients x classes)")
+        if distributions.shape[0] < 1:
+            raise ValueError("need at least one client")
+        if participants_per_round < 1:
+            raise ValueError("participants_per_round must be positive")
+        if participants_per_round > distributions.shape[0]:
+            raise ValueError("cannot select more clients than exist")
+        self.client_distributions = distributions
+        self.n_clients, self.num_classes = distributions.shape
+        self.participants_per_round = participants_per_round
+        self.rng = np.random.default_rng(seed)
+        self.uniform = uniform_distribution(self.num_classes)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def population_of(self, selected: Sequence[int]) -> np.ndarray:
+        """Population distribution ``p_o`` of a candidate participant set."""
+        idx = np.asarray(list(selected), dtype=int)
+        return self.client_distributions[idx].mean(axis=0)
+
+    def bias_of(self, selected: Sequence[int]) -> float:
+        """``||p_o − p_u||₁`` of a candidate participant set."""
+        return float(np.abs(self.population_of(selected) - self.uniform).sum())
+
+    def select(self, round_index: int) -> list[int]:
+        raise NotImplementedError
+
+
+class RandomSelector(ClientSelector):
+    """Uniformly random selection of ``K`` clients (the FL default)."""
+
+    name = "random"
+
+    def select(self, round_index: int) -> list[int]:
+        chosen = self.rng.choice(self.n_clients, size=self.participants_per_round, replace=False)
+        return [int(c) for c in chosen]
+
+
+class GreedySelector(ClientSelector):
+    """Astraea-style greedy selection minimising KL(p_o || p_u).
+
+    Requires global knowledge of every client's label distribution (not
+    privacy-preserving) and costs ``O(N·K)`` distribution evaluations per
+    round — both drawbacks the paper quantifies.  Serves as the optimal
+    reference ("opt"/"greedy" curves).
+    """
+
+    name = "greedy"
+
+    def select(self, round_index: int) -> list[int]:
+        first = int(self.rng.integers(self.n_clients))
+        selected = [first]
+        aggregate = self.client_distributions[first].copy()
+        available = np.ones(self.n_clients, dtype=bool)
+        available[first] = False
+        while len(selected) < self.participants_per_round:
+            candidate_idx = np.flatnonzero(available)
+            # candidate population distributions if each remaining client joined
+            candidate_pop = (aggregate[None, :] + self.client_distributions[candidate_idx])
+            candidate_pop = candidate_pop / candidate_pop.sum(axis=1, keepdims=True)
+            # KL(p_o || p_u) for every candidate, vectorised
+            safe = np.clip(candidate_pop, 1e-12, None)
+            kl = np.sum(safe * (np.log(safe) - np.log(self.uniform[None, :])), axis=1)
+            best = candidate_idx[int(np.argmin(kl))]
+            selected.append(int(best))
+            aggregate += self.client_distributions[best]
+            available[best] = False
+        return selected
+
+
+class DubheSelector(ClientSelector):
+    """The Dubhe proactive, privacy-preserving selection strategy."""
+
+    name = "dubhe"
+
+    def __init__(self, client_distributions: np.ndarray, config: DubheConfig,
+                 seed: Optional[int] = None, rebalance_to_k: bool = True):
+        super().__init__(client_distributions, config.participants_per_round, seed=seed)
+        if config.num_classes != self.num_classes:
+            raise ValueError("config num_classes does not match client distributions")
+        if not config.has_all_thresholds():
+            raise ValueError(
+                "DubheConfig is missing thresholds; run repro.core.parameter_search first"
+            )
+        self.config = config
+        self.rebalance_to_k = rebalance_to_k
+        self.codebook = RegistryCodebook(config)
+        self.registrations = self.codebook.register_many(self.client_distributions)
+        self.overall_registry = self.codebook.aggregate(self.registrations)
+        self.probabilities = participation_probabilities(
+            self.codebook, self.registrations, self.overall_registry,
+            config.participants_per_round,
+        )
+        self.last_result: Optional[MultiTimeResult] = None
+
+    # -- registration refresh -----------------------------------------------------
+
+    def refresh_registrations(self, client_distributions: Optional[np.ndarray] = None) -> None:
+        """Re-run registration (the paper's periodic re-registration)."""
+        if client_distributions is not None:
+            distributions = np.asarray(client_distributions, dtype=float)
+            if distributions.shape != self.client_distributions.shape:
+                raise ValueError("new distributions must have the same shape")
+            self.client_distributions = distributions
+        self.registrations = self.codebook.register_many(self.client_distributions)
+        self.overall_registry = self.codebook.aggregate(self.registrations)
+        self.probabilities = participation_probabilities(
+            self.codebook, self.registrations, self.overall_registry,
+            self.config.participants_per_round,
+        )
+
+    # -- one tentative draw ----------------------------------------------------------
+
+    def _tentative_draw(self, _h: int) -> list[int]:
+        """One proactive participation draw, topped up / trimmed to exactly K."""
+        volunteers = bernoulli_participation(self.probabilities, rng=self.rng)
+        pool = list(int(v) for v in volunteers)
+        k = self.participants_per_round
+        if not self.rebalance_to_k:
+            return pool
+        if len(pool) > k:
+            keep = self.rng.choice(len(pool), size=k, replace=False)
+            pool = [pool[i] for i in keep]
+        elif len(pool) < k:
+            outside = np.setdiff1d(np.arange(self.n_clients), np.asarray(pool, dtype=int))
+            extra = self.rng.choice(outside, size=k - len(pool), replace=False)
+            pool.extend(int(e) for e in extra)
+        return pool
+
+    # -- public API --------------------------------------------------------------------
+
+    def select(self, round_index: int) -> list[int]:
+        result = multi_time_selection(
+            draw=self._tentative_draw,
+            population_of=self.population_of,
+            uniform=self.uniform,
+            tries=self.config.tentative_selections,
+        )
+        self.last_result = result
+        return list(result.best.candidate)
+
+    @property
+    def last_bias(self) -> float:
+        """``EMD* = ||p_o,h* − p_u||₁`` of the most recent selection."""
+        if self.last_result is None:
+            raise RuntimeError("no selection has been performed yet")
+        return self.last_result.best_score

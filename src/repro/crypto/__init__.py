@@ -1,0 +1,50 @@
+"""Additively homomorphic encryption substrate (Paillier) for Dubhe.
+
+Public API
+----------
+* :func:`generate_keypair`, :class:`PaillierPublicKey`,
+  :class:`PaillierPrivateKey` — the cryptosystem.
+* :class:`FixedPointEncoder`, :class:`EncodedNumber` — float <-> integer
+  fixed-point encoding.
+* :class:`EncryptedNumber` — a single additively homomorphic ciphertext.
+* :class:`EncryptedVector` — element-wise encrypted vectors (registries and
+  label distributions).
+* :class:`KeyAgent` — the per-round key-generation / decryption agent role.
+"""
+
+from .encoding import DEFAULT_BASE, DEFAULT_PRECISION, EncodedNumber, FixedPointEncoder
+from .encrypted_number import EncryptedNumber, decrypt_number, encrypt_number
+from .keyagent import AgentStats, KeyAgent
+from .paillier import (
+    DEFAULT_KEY_SIZE,
+    PAPER_KEY_SIZE,
+    PaillierKeypair,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+)
+from .primes import generate_distinct_primes, generate_prime, is_probable_prime
+from .vector import EncryptedVector, plaintext_vector_bytes
+
+__all__ = [
+    "DEFAULT_BASE",
+    "DEFAULT_PRECISION",
+    "DEFAULT_KEY_SIZE",
+    "PAPER_KEY_SIZE",
+    "AgentStats",
+    "EncodedNumber",
+    "EncryptedNumber",
+    "EncryptedVector",
+    "FixedPointEncoder",
+    "KeyAgent",
+    "PaillierKeypair",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "decrypt_number",
+    "encrypt_number",
+    "generate_distinct_primes",
+    "generate_keypair",
+    "generate_prime",
+    "is_probable_prime",
+    "plaintext_vector_bytes",
+]

@@ -1,0 +1,125 @@
+"""Prime-number generation utilities for the Paillier cryptosystem.
+
+The Paillier keypair needs two independent large primes ``p`` and ``q`` of
+equal bit length.  This module implements the standard pipeline used by
+production HE libraries:
+
+1. draw a random odd candidate of the requested bit length,
+2. reject candidates divisible by a small prime (cheap sieve),
+3. run a Miller--Rabin probabilistic primality test with enough rounds that
+   the error probability is far below 2**-80.
+
+Everything is implemented on top of Python's arbitrary-precision integers;
+``secrets`` supplies cryptographically secure randomness while a seeded
+``random.Random`` can be injected for reproducible tests.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+from typing import Optional
+
+__all__ = [
+    "SMALL_PRIMES",
+    "is_probable_prime",
+    "generate_prime",
+    "generate_distinct_primes",
+]
+
+
+def _sieve_of_eratosthenes(limit: int) -> list[int]:
+    """Return every prime strictly below *limit* (simple sieve)."""
+    if limit < 3:
+        return []
+    flags = bytearray([1]) * limit
+    flags[0] = flags[1] = 0
+    for i in range(2, int(limit**0.5) + 1):
+        if flags[i]:
+            flags[i * i :: i] = bytearray(len(flags[i * i :: i]))
+    return [i for i, f in enumerate(flags) if f]
+
+
+#: Small primes used to cheaply reject composite candidates before the more
+#: expensive Miller--Rabin rounds.
+SMALL_PRIMES: tuple[int, ...] = tuple(_sieve_of_eratosthenes(2000))
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One Miller--Rabin witness round.
+
+    Returns ``True`` when *a* does **not** witness the compositeness of *n*
+    (i.e. *n* is still possibly prime).
+    """
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: Optional[random.Random] = None) -> bool:
+    """Miller--Rabin probabilistic primality test.
+
+    Parameters
+    ----------
+    n:
+        Candidate integer.
+    rounds:
+        Number of random witnesses.  40 rounds gives an error probability
+        below ``4**-40``, which is the conventional choice for key material.
+    rng:
+        Optional deterministic random source (tests); defaults to
+        ``secrets``-based randomness.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # write n-1 = d * 2^r with d odd
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        if rng is None:
+            a = secrets.randbelow(n - 3) + 2
+        else:
+            a = rng.randrange(2, n - 1)
+        if not _miller_rabin_round(n, a, d, r):
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: Optional[random.Random] = None) -> int:
+    """Generate a random probable prime with exactly *bits* bits.
+
+    The two top bits are forced to 1 so that the product of two such primes
+    has exactly ``2 * bits`` bits, which keeps ciphertext sizes predictable.
+    """
+    if bits < 8:
+        raise ValueError(f"prime size too small: {bits} bits (minimum 8)")
+    while True:
+        if rng is None:
+            candidate = secrets.randbits(bits)
+        else:
+            candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1  # top bits + odd
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def generate_distinct_primes(bits: int, rng: Optional[random.Random] = None) -> tuple[int, int]:
+    """Generate two distinct probable primes of *bits* bits each."""
+    p = generate_prime(bits, rng=rng)
+    q = generate_prime(bits, rng=rng)
+    while q == p:
+        q = generate_prime(bits, rng=rng)
+    return p, q

@@ -1,0 +1,89 @@
+"""Dataset and partitioning substrate for the Dubhe reproduction.
+
+Public API
+----------
+* distribution utilities — :func:`emd`, :func:`kl_divergence`,
+  :func:`imbalance_ratio`, :func:`average_emd`, :func:`uniform_distribution`.
+* global skew — :func:`half_normal_class_proportions`,
+  :func:`skewed_class_counts`.
+* client partitioning — :class:`EMDTargetPartitioner`,
+  :class:`DirichletPartitioner`, :class:`ShardPartitioner`,
+  :class:`ClientPartition`.
+* datasets — :class:`ArrayDataset`, :class:`DataLoader`,
+  :class:`SyntheticImageGenerator`, :func:`make_synthetic_mnist`,
+  :func:`make_synthetic_cifar`, :func:`make_femnist_federation`.
+* FedVC virtual clients — :func:`make_virtual_clients`.
+"""
+
+from .dataloader import DataLoader
+from .dataset import ArrayDataset, Subset, train_test_split
+from .distributions import (
+    average_emd,
+    emd,
+    imbalance_ratio,
+    kl_divergence,
+    label_counts,
+    label_distribution,
+    normalize_counts,
+    population_distribution,
+    uniform_distribution,
+    validate_distribution,
+)
+from .femnist import (
+    FEMNIST_NUM_CLASSES,
+    FEMNIST_PAPER_CLIENTS,
+    FEMNIST_PAPER_EMD,
+    FEMNIST_PAPER_RHO,
+    FemnistFederation,
+    make_femnist_federation,
+)
+from .partition import (
+    ClientPartition,
+    DirichletPartitioner,
+    EMDTargetPartitioner,
+    ShardPartitioner,
+)
+from .skew import apply_global_skew, half_normal_class_proportions, skewed_class_counts
+from .synthetic import (
+    SyntheticImageGenerator,
+    make_synthetic_cifar,
+    make_synthetic_mnist,
+    make_uniform_test_set,
+)
+from .virtual_clients import VirtualClientMapping, make_virtual_clients
+
+__all__ = [
+    "ArrayDataset",
+    "ClientPartition",
+    "DataLoader",
+    "DirichletPartitioner",
+    "EMDTargetPartitioner",
+    "FEMNIST_NUM_CLASSES",
+    "FEMNIST_PAPER_CLIENTS",
+    "FEMNIST_PAPER_EMD",
+    "FEMNIST_PAPER_RHO",
+    "FemnistFederation",
+    "ShardPartitioner",
+    "Subset",
+    "SyntheticImageGenerator",
+    "VirtualClientMapping",
+    "apply_global_skew",
+    "average_emd",
+    "emd",
+    "half_normal_class_proportions",
+    "imbalance_ratio",
+    "kl_divergence",
+    "label_counts",
+    "label_distribution",
+    "make_femnist_federation",
+    "make_synthetic_cifar",
+    "make_synthetic_mnist",
+    "make_uniform_test_set",
+    "make_virtual_clients",
+    "normalize_counts",
+    "population_distribution",
+    "skewed_class_counts",
+    "train_test_split",
+    "uniform_distribution",
+    "validate_distribution",
+]

@@ -1,0 +1,93 @@
+"""FedVC-style virtual clients (§4.1 of the paper).
+
+The paper borrows the *virtual client* idea from FedVC (Hsu et al.): clients
+with large datasets are split into several virtual clients, and clients with
+small datasets duplicate samples, so that **every virtual client holds
+exactly ``N_VC`` samples**.  With equal-sized clients the FedAvg aggregation
+reduces to the plain average of selected client models (eq. (1)), and every
+client takes the same number of optimisation steps per round.
+
+This module converts an arbitrary real-client partition (per-client class
+counts) into a virtual-client partition satisfying that invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .partition import ClientPartition
+
+__all__ = ["VirtualClientMapping", "make_virtual_clients"]
+
+
+@dataclass
+class VirtualClientMapping:
+    """Result of virtualisation: the new partition plus provenance."""
+
+    partition: ClientPartition
+    #: ``origin[v]`` is the index of the real client that virtual client ``v``
+    #: was carved out of.
+    origin: np.ndarray
+    samples_per_client: int
+
+    @property
+    def n_virtual(self) -> int:
+        return self.partition.n_clients
+
+    def virtual_of(self, real_client: int) -> np.ndarray:
+        """Indices of the virtual clients derived from *real_client*."""
+        return np.flatnonzero(self.origin == real_client)
+
+
+def _resample_counts(counts: np.ndarray, target: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Draw *target* samples (with replacement if needed) following *counts*.
+
+    Keeps the class proportions of the real client while forcing the exact
+    virtual-client size.  Sampling with replacement implements the FedVC
+    duplication rule for small clients.
+    """
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("cannot virtualise a client with no samples")
+    probs = counts / total
+    return rng.multinomial(target, probs)
+
+
+def make_virtual_clients(partition: ClientPartition, samples_per_client: int,
+                         seed: Optional[int] = None) -> VirtualClientMapping:
+    """Convert a real-client partition into equal-sized virtual clients.
+
+    * A real client with ``n ≥ 2 · N_VC`` samples is split into
+      ``floor(n / N_VC)`` virtual clients.
+    * A real client with fewer samples produces one virtual client whose
+      samples are drawn (with duplication when necessary) from its data.
+
+    The class proportions of each real client are preserved in expectation.
+    """
+    if samples_per_client < 1:
+        raise ValueError("samples_per_client must be positive")
+    rng = np.random.default_rng(seed)
+    new_counts: list[np.ndarray] = []
+    origin: list[int] = []
+    for k in range(partition.n_clients):
+        counts = partition.client_class_counts[k].astype(int)
+        total = int(counts.sum())
+        if total == 0:
+            continue
+        n_virtual = max(1, total // samples_per_client)
+        for _ in range(n_virtual):
+            new_counts.append(_resample_counts(counts, samples_per_client, rng))
+            origin.append(k)
+    if not new_counts:
+        raise ValueError("partition contains no samples to virtualise")
+    new_partition = ClientPartition(
+        np.vstack(new_counts),
+        partition.num_classes,
+        metadata={**partition.metadata, "virtualised": True,
+                  "samples_per_client": samples_per_client},
+    )
+    return VirtualClientMapping(new_partition, np.asarray(origin, dtype=int), samples_per_client)

@@ -1,0 +1,33 @@
+"""Federated-learning simulation engine (the substrate Dubhe plugs into).
+
+Public API
+----------
+* :class:`FederatedClient`, :class:`LocalTrainingConfig` — local training.
+* :class:`FederatedServer` — global model and aggregation.
+* :func:`average_states`, :func:`weighted_average_states` — FedVC/FedAvg rules.
+* :class:`LocalUpdateExecutor` — sequential/thread/process local updates.
+* :class:`FederatedSimulation`, :class:`FederatedConfig` — the round loop.
+* :class:`TrainingHistory`, :class:`RoundRecord` — per-round metrics.
+"""
+
+from .aggregation import average_states, state_difference_norm, weighted_average_states
+from .client import FederatedClient, LocalTrainingConfig
+from .executor import LocalUpdateExecutor
+from .history import RoundRecord, TrainingHistory
+from .server import FederatedServer
+from .simulation import ClientSelectorProtocol, FederatedConfig, FederatedSimulation
+
+__all__ = [
+    "ClientSelectorProtocol",
+    "FederatedClient",
+    "FederatedConfig",
+    "FederatedServer",
+    "FederatedSimulation",
+    "LocalTrainingConfig",
+    "LocalUpdateExecutor",
+    "RoundRecord",
+    "TrainingHistory",
+    "average_states",
+    "state_difference_norm",
+    "weighted_average_states",
+]

@@ -1,0 +1,64 @@
+"""Model aggregation rules.
+
+The paper adopts the FedVC convention (eq. (1)): because every virtual client
+holds the same number of samples and takes the same number of optimisation
+steps, the global model is the **plain average** of the selected clients'
+models.  The classical sample-weighted FedAvg is provided as well (used by an
+ablation benchmark comparing the two).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["average_states", "weighted_average_states", "state_difference_norm"]
+
+StateDict = dict[str, np.ndarray]
+
+
+def _check_states(states: Sequence[StateDict]) -> None:
+    if not states:
+        raise ValueError("cannot aggregate an empty list of model states")
+    reference = states[0]
+    for state in states[1:]:
+        if set(state) != set(reference):
+            raise KeyError("model states have different parameter names")
+        for key in reference:
+            if state[key].shape != reference[key].shape:
+                raise ValueError(f"shape mismatch for parameter {key!r}")
+
+
+def average_states(states: Sequence[StateDict]) -> StateDict:
+    """Uniform average of model states — eq. (1) of the paper (FedVC-style)."""
+    _check_states(states)
+    keys = states[0].keys()
+    return {k: np.mean([s[k] for s in states], axis=0) for k in keys}
+
+
+def weighted_average_states(states: Sequence[StateDict],
+                            weights: Sequence[float]) -> StateDict:
+    """Sample-count-weighted FedAvg average (the original McMahan et al. rule)."""
+    _check_states(states)
+    weights_arr = np.asarray(list(weights), dtype=float)
+    if weights_arr.size != len(states):
+        raise ValueError("need exactly one weight per model state")
+    if np.any(weights_arr < 0) or weights_arr.sum() <= 0:
+        raise ValueError("weights must be non-negative and not all zero")
+    weights_arr = weights_arr / weights_arr.sum()
+    keys = states[0].keys()
+    return {
+        k: np.sum([w * s[k] for w, s in zip(weights_arr, states)], axis=0) for k in keys
+    }
+
+
+def state_difference_norm(a: StateDict, b: StateDict) -> float:
+    """L2 norm of the difference between two model states (weight divergence)."""
+    if set(a) != set(b):
+        raise KeyError("model states have different parameter names")
+    total = 0.0
+    for key in a:
+        diff = a[key] - b[key]
+        total += float(np.sum(diff * diff))
+    return float(np.sqrt(total))

@@ -1,0 +1,109 @@
+"""Round-by-round training history of a federated run.
+
+Figures 2, 6 and 8 of the paper plot test accuracy against rounds; Figure 7
+reports the *average accuracy over the last 50 rounds*; Figures 2/8 also show
+the participated class proportion.  :class:`TrainingHistory` records exactly
+those series so every benchmark reads its numbers from one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RoundRecord", "TrainingHistory"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything measured about one federated round."""
+
+    round_index: int
+    selected_clients: tuple[int, ...]
+    population_distribution: np.ndarray
+    population_bias: float            # ||p_o − p_u||₁ of this round's selection
+    test_accuracy: Optional[float]    # None when evaluation was skipped this round
+    train_loss: Optional[float] = None
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated per-round records plus convenience reductions."""
+
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- series ------------------------------------------------------------------
+
+    def accuracies(self) -> np.ndarray:
+        """Test accuracy per evaluated round (NaN where evaluation was skipped)."""
+        return np.array(
+            [np.nan if r.test_accuracy is None else r.test_accuracy for r in self.records]
+        )
+
+    def population_biases(self) -> np.ndarray:
+        """``||p_o − p_u||₁`` per round."""
+        return np.array([r.population_bias for r in self.records])
+
+    def population_distributions(self) -> np.ndarray:
+        """Stacked per-round population distributions, shape ``(rounds, C)``."""
+        if not self.records:
+            return np.empty((0, 0))
+        return np.vstack([r.population_distribution for r in self.records])
+
+    def participation_counts(self, n_clients: int) -> np.ndarray:
+        """How many times each client was selected over the run."""
+        counts = np.zeros(n_clients, dtype=int)
+        for r in self.records:
+            for k in r.selected_clients:
+                counts[k] += 1
+        return counts
+
+    # -- reductions ----------------------------------------------------------------
+
+    def final_accuracy(self) -> float:
+        """Accuracy of the last evaluated round."""
+        acc = self.accuracies()
+        valid = acc[~np.isnan(acc)]
+        if valid.size == 0:
+            raise ValueError("no evaluated rounds in history")
+        return float(valid[-1])
+
+    def tail_average_accuracy(self, window: int = 50) -> float:
+        """Average accuracy over the last *window* evaluated rounds (Figure 7)."""
+        if window < 1:
+            raise ValueError("window must be positive")
+        acc = self.accuracies()
+        valid = acc[~np.isnan(acc)]
+        if valid.size == 0:
+            raise ValueError("no evaluated rounds in history")
+        return float(valid[-window:].mean())
+
+    def mean_population_bias(self) -> float:
+        """Average ``||p_o − p_u||₁`` over all rounds."""
+        if not self.records:
+            raise ValueError("empty history")
+        return float(self.population_biases().mean())
+
+    def average_population_distribution(self) -> np.ndarray:
+        """Expectation of the participated class proportion over rounds (Fig. 2/8/10)."""
+        dists = self.population_distributions()
+        if dists.size == 0:
+            raise ValueError("empty history")
+        return dists.mean(axis=0)
+
+    def summary(self) -> dict:
+        """A compact dictionary used by benchmarks and examples."""
+        return {
+            "rounds": len(self.records),
+            "final_accuracy": self.final_accuracy(),
+            "tail_accuracy": self.tail_average_accuracy(min(50, len(self.records))),
+            "mean_population_bias": self.mean_population_bias(),
+        }

@@ -1,0 +1,72 @@
+"""The federated server: holds the global model and aggregates client updates.
+
+The server in Dubhe is honest-but-curious: it orchestrates rounds and
+aggregates both model updates and (encrypted) registries, but it never sees
+private keys.  This class only handles the model side; the encrypted
+registry/ distribution aggregation lives in :mod:`repro.core.secure`, keeping
+the two concerns — learning and selection privacy — cleanly separated, which
+is also what makes Dubhe "pluggable".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..nn.metrics import evaluate_model
+from ..nn.module import Module
+from .aggregation import average_states, weighted_average_states
+
+__all__ = ["FederatedServer"]
+
+StateDict = dict[str, np.ndarray]
+
+
+class FederatedServer:
+    """Holds the global model and performs FedAvg/FedVC aggregation."""
+
+    def __init__(self, model_factory: Callable[[], Module], aggregation: str = "uniform"):
+        if aggregation not in ("uniform", "weighted"):
+            raise ValueError("aggregation must be 'uniform' or 'weighted'")
+        self.model_factory = model_factory
+        self.global_model = model_factory()
+        self.aggregation = aggregation
+        self.rounds_completed = 0
+
+    # -- weights -----------------------------------------------------------------
+
+    def global_state(self) -> StateDict:
+        """A copy of the current global weights (what gets sent to clients)."""
+        return self.global_model.state_dict()
+
+    def aggregate(self, client_states: Sequence[StateDict],
+                  client_weights: Sequence[float] | None = None) -> StateDict:
+        """Aggregate client updates into the new global model.
+
+        With ``aggregation == "uniform"`` this is eq. (1) (virtual clients of
+        equal size); with ``"weighted"`` the classical sample-weighted FedAvg
+        is used and *client_weights* must be given.
+        """
+        if not client_states:
+            raise ValueError("no client updates to aggregate")
+        if self.aggregation == "uniform":
+            new_state = average_states(client_states)
+        else:
+            if client_weights is None:
+                raise ValueError("weighted aggregation requires client_weights")
+            new_state = weighted_average_states(client_states, client_weights)
+        self.global_model.load_state_dict(new_state)
+        self.rounds_completed += 1
+        return new_state
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def evaluate(self, test_set: ArrayDataset, batch_size: int = 64) -> dict:
+        """Evaluate the current global model on a (uniform) test set."""
+        return evaluate_model(self.global_model, test_set, batch_size=batch_size)
+
+    def new_client_model(self) -> Module:
+        """A fresh model instance for a client (weights loaded by the executor)."""
+        return self.model_factory()

@@ -1,0 +1,141 @@
+"""End-to-end federated training simulation.
+
+:class:`FederatedSimulation` wires together the substrates: a client
+partition (who holds what), a synthetic data generator (what the samples look
+like), the NumPy model stack, a pluggable client-selection strategy and the
+FedVC-style server.  One instance reproduces one curve of Figures 2, 6 or 8:
+construct it with a selector (random / greedy / Dubhe), call :meth:`run`, and
+read the accuracy series from the returned :class:`TrainingHistory`.
+
+The selector is duck-typed: anything with ``select(round_index)`` returning a
+sequence of client indices works, so the Dubhe machinery in
+:mod:`repro.core` plugs in without this module importing it (the paper calls
+Dubhe "pluggable"; the code structure mirrors that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..data.distributions import emd, uniform_distribution
+from ..data.partition import ClientPartition
+from ..data.synthetic import SyntheticImageGenerator
+from ..nn.module import Module
+from .client import FederatedClient, LocalTrainingConfig
+from .executor import LocalUpdateExecutor
+from .history import RoundRecord, TrainingHistory
+from .server import FederatedServer
+
+__all__ = ["ClientSelectorProtocol", "FederatedConfig", "FederatedSimulation"]
+
+
+class ClientSelectorProtocol(Protocol):
+    """Anything that can pick the participating clients of a round."""
+
+    def select(self, round_index: int) -> Sequence[int]:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class FederatedConfig:
+    """Top-level configuration of a federated run."""
+
+    rounds: int = 20
+    eval_every: int = 1
+    local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
+    executor_mode: str = "sequential"
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError("rounds must be positive")
+        if self.eval_every < 1:
+            raise ValueError("eval_every must be positive")
+
+
+class FederatedSimulation:
+    """Simulate federated training with a pluggable client-selection strategy."""
+
+    def __init__(self, partition: ClientPartition, generator: SyntheticImageGenerator,
+                 model_factory: Callable[[], Module], selector: ClientSelectorProtocol,
+                 test_set: ArrayDataset, config: Optional[FederatedConfig] = None):
+        if partition.num_classes != generator.num_classes:
+            raise ValueError("partition and generator disagree on the number of classes")
+        self.partition = partition
+        self.generator = generator
+        self.selector = selector
+        self.test_set = test_set
+        self.config = config or FederatedConfig()
+        self.server = FederatedServer(model_factory)
+        self.executor = LocalUpdateExecutor(self.config.executor_mode)
+        self._uniform = uniform_distribution(partition.num_classes)
+        self._clients: dict[int, FederatedClient] = {}
+        self._rng = np.random.default_rng(self.config.seed)
+        self.history = TrainingHistory()
+
+    # -- client materialisation ----------------------------------------------------
+
+    def client(self, index: int) -> FederatedClient:
+        """The :class:`FederatedClient` for partition row *index* (cached, lazy data)."""
+        if index not in self._clients:
+            counts = self.partition.client_class_counts[index]
+            data_seed = (0 if self.config.seed is None else self.config.seed) + 100_003 * index
+
+            def factory(counts=counts, data_seed=data_seed) -> ArrayDataset:
+                return self.generator.generate(counts, rng=np.random.default_rng(data_seed))
+
+            self._clients[index] = FederatedClient(
+                client_id=index,
+                num_classes=self.partition.num_classes,
+                dataset_factory=factory,
+                seed=data_seed,
+            )
+        return self._clients[index]
+
+    # -- round loop -------------------------------------------------------------------
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Run one complete round: select, train locally, aggregate, evaluate."""
+        selected = list(self.selector.select(round_index))
+        if len(selected) == 0:
+            raise RuntimeError(f"selector returned no clients at round {round_index}")
+        population = self.partition.selection_population(selected)
+        bias = emd(population, self._uniform)
+
+        clients = [self.client(k) for k in selected]
+        global_state = self.server.global_state()
+        states = self.executor.run_round(
+            clients, self.server.new_client_model, global_state, self.config.local,
+            round_index=round_index,
+        )
+        self.server.aggregate(states)
+
+        accuracy: Optional[float] = None
+        if round_index % self.config.eval_every == 0:
+            accuracy = self.server.evaluate(self.test_set)["accuracy"]
+
+        record = RoundRecord(
+            round_index=round_index,
+            selected_clients=tuple(selected),
+            population_distribution=population,
+            population_bias=bias,
+            test_accuracy=accuracy,
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, rounds: Optional[int] = None, progress: Optional[Callable[[RoundRecord], None]] = None,
+            ) -> TrainingHistory:
+        """Run the full federated training loop and return the history."""
+        total = rounds if rounds is not None else self.config.rounds
+        if total < 1:
+            raise ValueError("rounds must be positive")
+        for t in range(total):
+            record = self.run_round(t)
+            if progress is not None:
+                progress(record)
+        return self.history

@@ -1,0 +1,69 @@
+"""Evaluation metrics for classification models.
+
+The paper reports top-1 test accuracy on a class-balanced test set; the
+per-class breakdown and confusion matrix feed the analysis of which classes
+suffer under biased client participation (Figure 10 discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataloader import DataLoader
+from ..data.dataset import ArrayDataset
+from .module import Module
+
+__all__ = ["accuracy", "per_class_accuracy", "confusion_matrix", "evaluate_model"]
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy of a batch of logits."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if len(logits) == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    return float((logits.argmax(axis=1) == targets).mean())
+
+
+def confusion_matrix(predictions: np.ndarray, targets: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """Confusion matrix ``M[i, j]`` = count of true class *i* predicted as *j*."""
+    predictions = np.asarray(predictions, dtype=int)
+    targets = np.asarray(targets, dtype=int)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    np.add.at(matrix, (targets, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(predictions: np.ndarray, targets: np.ndarray,
+                       num_classes: int) -> np.ndarray:
+    """Recall of each class; classes with no test samples report NaN."""
+    matrix = confusion_matrix(predictions, targets, num_classes)
+    totals = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)
+
+
+def evaluate_model(model: Module, dataset: ArrayDataset, batch_size: int = 64) -> dict:
+    """Evaluate *model* on *dataset*; returns accuracy and per-class stats."""
+    model.eval()
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    predictions: list[np.ndarray] = []
+    targets: list[np.ndarray] = []
+    for xb, yb in loader:
+        logits = model(xb)
+        predictions.append(logits.argmax(axis=1))
+        targets.append(yb)
+    model.train()
+    pred = np.concatenate(predictions) if predictions else np.empty(0, dtype=int)
+    target = np.concatenate(targets) if targets else np.empty(0, dtype=int)
+    if len(pred) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    return {
+        "accuracy": float((pred == target).mean()),
+        "per_class_accuracy": per_class_accuracy(pred, target, dataset.num_classes),
+        "confusion_matrix": confusion_matrix(pred, target, dataset.num_classes),
+        "n_samples": int(len(pred)),
+    }

@@ -1,0 +1,195 @@
+"""Tests for parameter search, the secure protocol and overhead accounting."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import DubheConfig
+from repro.core.overhead import communication_overhead, measure_encryption_overhead
+from repro.core.parameter_search import default_sigma_grid, search_thresholds
+from repro.core.registry import RegistryCodebook
+from repro.core.secure import (
+    SecureAggregationServer,
+    SecureClient,
+    SecureDistributionAggregation,
+    SecureRegistrationRound,
+)
+from repro.crypto.keyagent import KeyAgent
+from repro.crypto.paillier import generate_keypair
+from repro.data.partition import EMDTargetPartitioner
+from repro.data.skew import half_normal_class_proportions
+
+
+@pytest.fixture(scope="module")
+def federation_distributions():
+    global_dist = half_normal_class_proportions(10, 10.0)
+    partition = EMDTargetPartitioner(80, 64, 1.5, seed=0).partition(global_dist)
+    return partition.client_distributions()
+
+
+def unsettled_config(k=10, h=3):
+    return DubheConfig(num_classes=10, reference_set=(1, 2, 10),
+                       participants_per_round=k, tentative_selections=h, seed=0)
+
+
+class TestParameterSearch:
+    def test_finds_thresholds_for_every_reference_entry(self, federation_distributions):
+        result = search_thresholds(federation_distributions, unsettled_config(),
+                                   sigma_grid=(0.1, 0.5, 0.9), seed=0)
+        assert set(result.thresholds) == {1, 2, 10}
+        assert result.thresholds[10] == 0.0
+        assert result.config.has_all_thresholds()
+        assert result.score >= 0
+
+    def test_search_score_beats_worst_grid_point(self, federation_distributions):
+        result = search_thresholds(federation_distributions, unsettled_config(),
+                                   sigma_grid=(0.1, 0.5, 0.9), seed=0)
+        assert result.score <= max(result.all_scores.values()) + 1e-9
+
+    def test_monotone_threshold_constraint_respected(self, federation_distributions):
+        result = search_thresholds(federation_distributions, unsettled_config(),
+                                   sigma_grid=(0.3, 0.7), seed=0)
+        for assignment in result.all_scores:
+            assert all(assignment[j] >= assignment[j + 1] for j in range(len(assignment) - 1))
+
+    def test_reference_set_with_only_c(self, federation_distributions):
+        config = DubheConfig(num_classes=10, reference_set=(10,), participants_per_round=10)
+        result = search_thresholds(federation_distributions, config, seed=0)
+        assert result.thresholds == {10: 0.0}
+
+    def test_invalid_inputs(self, federation_distributions):
+        with pytest.raises(ValueError):
+            search_thresholds(federation_distributions[:, :5], unsettled_config())
+        with pytest.raises(ValueError):
+            search_thresholds(federation_distributions, unsettled_config(), tries=0)
+        with pytest.raises(ValueError):
+            default_sigma_grid(())
+        with pytest.raises(ValueError):
+            default_sigma_grid((1.5,))
+
+    def test_settled_config_improves_selection(self, federation_distributions):
+        from repro.core.selectors import DubheSelector, RandomSelector
+
+        result = search_thresholds(federation_distributions, unsettled_config(k=16),
+                                   sigma_grid=(0.1, 0.3, 0.5, 0.7, 0.9), seed=0)
+        dubhe = DubheSelector(federation_distributions, result.config, seed=1)
+        rand = RandomSelector(federation_distributions, 16, seed=1)
+        dubhe_bias = np.mean([dubhe.bias_of(dubhe.select(r)) for r in range(15)])
+        random_bias = np.mean([rand.bias_of(rand.select(r)) for r in range(15)])
+        assert dubhe_bias < random_bias
+
+
+def settled_config(key_size=128, k=5, h=2):
+    return DubheConfig(num_classes=10, reference_set=(1, 2, 10),
+                       thresholds={1: 0.7, 2: 0.1, 10: 0.0},
+                       participants_per_round=k, tentative_selections=h,
+                       key_size=key_size)
+
+
+class TestSecureProtocol:
+    def test_registration_round_matches_plaintext_aggregation(self, federation_distributions):
+        subset = federation_distributions[:12]
+        config = settled_config()
+        agent = KeyAgent(key_size=128, rng=random.Random(0))
+        overall, registrations, stats = SecureRegistrationRound(config, agent=agent).run(subset)
+        codebook = RegistryCodebook(config)
+        expected = codebook.aggregate(codebook.register_many(subset))
+        np.testing.assert_allclose(overall, expected, atol=1e-6)
+        assert len(registrations) == 12
+        assert stats.messages > 0
+        assert stats.ciphertext_bytes > stats.plaintext_bytes
+        assert stats.encrypt_seconds > 0
+        assert stats.decrypt_seconds > 0
+
+    def test_server_never_holds_private_key(self):
+        keypair = generate_keypair(128, rng=random.Random(1))
+        server = SecureAggregationServer(keypair.public_key)
+        # structural privacy check: no attribute of the server references the
+        # private key and the server exposes no decryption capability
+        assert not hasattr(server, "private_key")
+        assert not any(
+            "private" in attr or "secret" in attr for attr in vars(server)
+        )
+        assert not hasattr(server, "decrypt")
+
+    def test_server_rejects_foreign_ciphertexts(self):
+        kp_a = generate_keypair(128, rng=random.Random(2))
+        kp_b = generate_keypair(128, rng=random.Random(3))
+        server = SecureAggregationServer(kp_a.public_key)
+        client = SecureClient(0, np.full(10, 0.1))
+        with pytest.raises(ValueError):
+            server.receive(client.encrypted_distribution(kp_b.public_key))
+
+    def test_server_aggregate_requires_messages(self):
+        keypair = generate_keypair(128, rng=random.Random(4))
+        server = SecureAggregationServer(keypair.public_key)
+        with pytest.raises(ValueError):
+            server.aggregate()
+
+    def test_client_must_register_before_sending_registry(self):
+        keypair = generate_keypair(128, rng=random.Random(5))
+        client = SecureClient(0, np.full(10, 0.1))
+        with pytest.raises(RuntimeError):
+            client.encrypted_registry(keypair.public_key)
+
+    def test_secure_distribution_scoring_matches_plaintext(self, federation_distributions):
+        config = settled_config()
+        agent = KeyAgent(key_size=128, rng=random.Random(7))
+        secure = SecureDistributionAggregation(config, agent=agent)
+        selected = [0, 3, 5, 8]
+        score = secure.score_selection(federation_distributions, selected)
+        plaintext_pop = federation_distributions[selected].mean(axis=0)
+        expected = np.abs(plaintext_pop - 0.1).sum()
+        assert score == pytest.approx(expected, abs=1e-6)
+        assert secure.stats.messages >= len(selected)
+        with pytest.raises(ValueError):
+            secure.score_selection(federation_distributions, [])
+
+
+class TestOverheadAccounting:
+    def test_encryption_overhead_report(self):
+        report = measure_encryption_overhead(vector_length=56, key_size=128, rng_seed=0)
+        assert report.plaintext_bytes > 0
+        assert report.ciphertext_bytes > report.plaintext_bytes
+        assert report.expansion_factor > 1
+        assert report.encrypt_seconds > 0
+        assert report.decrypt_seconds > 0
+        row = report.as_row()
+        assert row["vector_length"] == 56
+        assert row["key_size"] == 128
+
+    def test_ciphertext_grows_with_key_size(self):
+        small = measure_encryption_overhead(16, key_size=128, rng_seed=0)
+        large = measure_encryption_overhead(16, key_size=256, rng_seed=0)
+        assert large.ciphertext_bytes > small.ciphertext_bytes
+
+    def test_invalid_measure_arguments(self):
+        with pytest.raises(ValueError):
+            measure_encryption_overhead(0, 128)
+        with pytest.raises(ValueError):
+            measure_encryption_overhead(10, 128, trials=0)
+
+    def test_communication_counts_match_paper_formulas(self):
+        report = communication_overhead(n_clients=1000, participants_per_round=20,
+                                        tentative_selections=10,
+                                        reregistration=True, multitime_determination=True)
+        assert report.baseline_messages == 20
+        assert report.registration_messages == 1000
+        assert report.multitime_messages == 200
+        assert report.dubhe_total == 1220
+        assert report.overhead_ratio == pytest.approx(1200 / 20)
+
+    def test_no_optional_features_no_overhead(self):
+        report = communication_overhead(1000, 20, reregistration=False)
+        assert report.registration_messages == 0
+        assert report.multitime_messages == 0
+        assert report.overhead_ratio == 0
+
+    def test_invalid_communication_arguments(self):
+        with pytest.raises(ValueError):
+            communication_overhead(0, 1)
+        with pytest.raises(ValueError):
+            communication_overhead(10, 20)
+        with pytest.raises(ValueError):
+            communication_overhead(10, 5, tentative_selections=0)

@@ -1,0 +1,96 @@
+"""Tests for SecureDubheSelector: the fully encrypted selection path."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import DubheConfig
+from repro.core.secure_selector import SecureDubheSelector
+from repro.core.selectors import DubheSelector, RandomSelector
+from repro.crypto.keyagent import KeyAgent
+from repro.data.partition import EMDTargetPartitioner
+from repro.data.skew import half_normal_class_proportions
+
+
+@pytest.fixture(scope="module")
+def small_federation():
+    global_dist = half_normal_class_proportions(10, 10.0)
+    partition = EMDTargetPartitioner(30, 64, 1.5, seed=0).partition(global_dist)
+    return partition.client_distributions()
+
+
+def settled_config(k=6, h=2):
+    return DubheConfig(num_classes=10, reference_set=(1, 2, 10),
+                       thresholds={1: 0.7, 2: 0.1, 10: 0.0},
+                       participants_per_round=k, tentative_selections=h, key_size=128)
+
+
+@pytest.fixture(scope="module")
+def secure_selector(small_federation):
+    agent = KeyAgent(key_size=128, rng=random.Random(0))
+    return SecureDubheSelector(small_federation, settled_config(), seed=0, agent=agent)
+
+
+class TestSecureDubheSelector:
+    def test_requires_settled_config(self, small_federation):
+        with pytest.raises(ValueError):
+            SecureDubheSelector(small_federation,
+                                DubheConfig(num_classes=10, reference_set=(1, 2, 10),
+                                            participants_per_round=5, key_size=128))
+
+    def test_class_mismatch_rejected(self, small_federation):
+        config = DubheConfig(num_classes=5, reference_set=(1, 5),
+                             thresholds={1: 0.5, 5: 0.0}, participants_per_round=5,
+                             key_size=128)
+        with pytest.raises(ValueError):
+            SecureDubheSelector(small_federation, config)
+
+    def test_registration_matches_plaintext_selector(self, small_federation, secure_selector):
+        plaintext = DubheSelector(small_federation, settled_config(), seed=0)
+        np.testing.assert_allclose(secure_selector.overall_registry,
+                                   plaintext.overall_registry, atol=1e-9)
+        np.testing.assert_allclose(secure_selector.probabilities,
+                                   plaintext.probabilities, atol=1e-9)
+
+    def test_selects_exactly_k_distinct(self, secure_selector):
+        selected = secure_selector.select(0)
+        assert len(selected) == 6
+        assert len(set(selected)) == 6
+        assert secure_selector.last_bias >= 0
+
+    def test_same_seed_matches_plaintext_selections(self, small_federation):
+        agent = KeyAgent(key_size=128, rng=random.Random(1))
+        secure = SecureDubheSelector(small_federation, settled_config(h=3), seed=7, agent=agent)
+        plaintext = DubheSelector(small_federation, settled_config(h=3), seed=7)
+        for r in range(3):
+            assert secure.select(r) == plaintext.select(r)
+
+    def test_protocol_stats_accumulate(self, small_federation):
+        agent = KeyAgent(key_size=128, rng=random.Random(2))
+        secure = SecureDubheSelector(small_federation, settled_config(), seed=0, agent=agent)
+        after_registration = secure.stats.messages
+        assert after_registration >= len(small_federation)
+        assert secure.stats.ciphertext_bytes > secure.stats.plaintext_bytes
+        secure.select(0)
+        assert secure.stats.messages > after_registration
+
+    def test_beats_random_on_skewed_federation(self, small_federation, secure_selector):
+        rand = RandomSelector(small_federation, 6, seed=0)
+        secure_bias = np.mean([secure_selector.bias_of(secure_selector.select(r))
+                               for r in range(8)])
+        random_bias = np.mean([rand.bias_of(rand.select(r)) for r in range(8)])
+        assert secure_bias < random_bias + 0.05
+
+    def test_last_bias_before_selection_raises(self, small_federation):
+        agent = KeyAgent(key_size=128, rng=random.Random(3))
+        fresh = SecureDubheSelector(small_federation, settled_config(), seed=0, agent=agent)
+        with pytest.raises(RuntimeError):
+            _ = fresh.last_bias
+
+    def test_plaintext_scoring_mode(self, small_federation):
+        agent = KeyAgent(key_size=128, rng=random.Random(4))
+        selector = SecureDubheSelector(small_federation, settled_config(), seed=0,
+                                       agent=agent, score_securely=False)
+        selected = selector.select(0)
+        assert len(selected) == 6

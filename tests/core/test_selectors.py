@@ -1,0 +1,154 @@
+"""Tests for the three client-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DubheConfig
+from repro.core.selectors import DubheSelector, GreedySelector, RandomSelector
+from repro.data.partition import EMDTargetPartitioner
+from repro.data.skew import half_normal_class_proportions
+
+
+@pytest.fixture(scope="module")
+def skewed_federation():
+    """A 200-client federation with heavy global skew and client discrepancy."""
+    global_dist = half_normal_class_proportions(10, 10.0)
+    partition = EMDTargetPartitioner(200, 64, 1.5, seed=0).partition(global_dist)
+    return partition.client_distributions()
+
+
+def group1_config(k=20, h=1, seed=None):
+    return DubheConfig(
+        num_classes=10,
+        reference_set=(1, 2, 10),
+        thresholds={1: 0.7, 2: 0.1, 10: 0.0},
+        participants_per_round=k,
+        tentative_selections=h,
+        seed=seed,
+    )
+
+
+class TestSelectorValidation:
+    def test_base_validation(self, skewed_federation):
+        with pytest.raises(ValueError):
+            RandomSelector(skewed_federation[0], 5)  # 1-D
+        with pytest.raises(ValueError):
+            RandomSelector(skewed_federation, 0)
+        with pytest.raises(ValueError):
+            RandomSelector(skewed_federation, 10_000)
+
+    def test_dubhe_requires_thresholds(self, skewed_federation):
+        config = DubheConfig(num_classes=10, reference_set=(1, 2, 10), participants_per_round=20)
+        with pytest.raises(ValueError):
+            DubheSelector(skewed_federation, config)
+
+    def test_dubhe_class_mismatch(self, skewed_federation):
+        config = DubheConfig(num_classes=5, reference_set=(1, 5),
+                             thresholds={1: 0.5, 5: 0.0}, participants_per_round=20)
+        with pytest.raises(ValueError):
+            DubheSelector(skewed_federation, config)
+
+
+class TestRandomSelector:
+    def test_selects_exactly_k_distinct(self, skewed_federation):
+        selector = RandomSelector(skewed_federation, 20, seed=0)
+        selected = selector.select(0)
+        assert len(selected) == 20
+        assert len(set(selected)) == 20
+
+    def test_different_rounds_differ(self, skewed_federation):
+        selector = RandomSelector(skewed_federation, 20, seed=0)
+        assert selector.select(0) != selector.select(1)
+
+    def test_bias_tracks_global_distribution(self, skewed_federation):
+        # with skewed global data, random selection stays biased
+        selector = RandomSelector(skewed_federation, 20, seed=1)
+        biases = [selector.bias_of(selector.select(r)) for r in range(20)]
+        assert np.mean(biases) > 0.3
+
+
+class TestGreedySelector:
+    def test_selects_exactly_k_distinct(self, skewed_federation):
+        selector = GreedySelector(skewed_federation, 20, seed=0)
+        selected = selector.select(0)
+        assert len(selected) == 20
+        assert len(set(selected)) == 20
+
+    def test_greedy_beats_random(self, skewed_federation):
+        greedy = GreedySelector(skewed_federation, 20, seed=0)
+        random_sel = RandomSelector(skewed_federation, 20, seed=0)
+        greedy_bias = np.mean([greedy.bias_of(greedy.select(r)) for r in range(10)])
+        random_bias = np.mean([random_sel.bias_of(random_sel.select(r)) for r in range(10)])
+        assert greedy_bias < random_bias
+
+    def test_greedy_on_perfectly_balanced_pairs(self):
+        # clients come in complementary pairs; greedy should recover ~uniform
+        dists = np.array([[0.9, 0.1], [0.1, 0.9], [0.8, 0.2], [0.2, 0.8]])
+        selector = GreedySelector(dists, 2, seed=0)
+        assert selector.bias_of(selector.select(0)) < 0.25
+
+
+class TestDubheSelector:
+    def test_selects_exactly_k_distinct(self, skewed_federation):
+        selector = DubheSelector(skewed_federation, group1_config(k=20), seed=0)
+        selected = selector.select(0)
+        assert len(selected) == 20
+        assert len(set(selected)) == 20
+
+    def test_dubhe_beats_random_on_skewed_data(self, skewed_federation):
+        dubhe = DubheSelector(skewed_federation, group1_config(k=20), seed=0)
+        random_sel = RandomSelector(skewed_federation, 20, seed=0)
+        dubhe_bias = np.mean([dubhe.bias_of(dubhe.select(r)) for r in range(20)])
+        random_bias = np.mean([random_sel.bias_of(random_sel.select(r)) for r in range(20)])
+        assert dubhe_bias < random_bias
+
+    def test_registration_counts_match_client_count(self, skewed_federation):
+        selector = DubheSelector(skewed_federation, group1_config(), seed=0)
+        assert selector.overall_registry.sum() == len(skewed_federation)
+        assert len(selector.registrations) == len(skewed_federation)
+
+    def test_probabilities_lie_in_unit_interval(self, skewed_federation):
+        selector = DubheSelector(skewed_federation, group1_config(), seed=0)
+        assert np.all(selector.probabilities >= 0)
+        assert np.all(selector.probabilities <= 1)
+
+    def test_expected_pool_size_close_to_k(self, skewed_federation):
+        selector = DubheSelector(skewed_federation, group1_config(k=20), seed=0,
+                                 rebalance_to_k=False)
+        sizes = [len(selector._tentative_draw(0)) for _ in range(100)]
+        assert np.mean(sizes) == pytest.approx(20, rel=0.3)
+
+    def test_multi_time_selection_improves_bias(self, skewed_federation):
+        one_shot = DubheSelector(skewed_federation, group1_config(k=20, h=1), seed=0)
+        multi = DubheSelector(skewed_federation, group1_config(k=20, h=10), seed=0)
+        bias_one = np.mean([one_shot.bias_of(one_shot.select(r)) for r in range(15)])
+        bias_multi = np.mean([multi.bias_of(multi.select(r)) for r in range(15)])
+        assert bias_multi <= bias_one + 0.02
+
+    def test_last_bias_property(self, skewed_federation):
+        selector = DubheSelector(skewed_federation, group1_config(), seed=0)
+        with pytest.raises(RuntimeError):
+            _ = selector.last_bias
+        selected = selector.select(0)
+        assert selector.last_bias == pytest.approx(selector.bias_of(selected))
+
+    def test_refresh_registrations(self, skewed_federation):
+        selector = DubheSelector(skewed_federation, group1_config(), seed=0)
+        before = selector.overall_registry.copy()
+        # clients' data drifts to balanced → everyone lands in the C block
+        balanced = np.tile(np.full(10, 0.1), (len(skewed_federation), 1))
+        selector.refresh_registrations(balanced)
+        after = selector.overall_registry
+        assert not np.allclose(before, after)
+        # identical (balanced) clients all land in the same category
+        assert after.max() == len(skewed_federation)
+        with pytest.raises(ValueError):
+            selector.refresh_registrations(balanced[:5])
+
+    def test_population_and_bias_helpers(self, skewed_federation):
+        selector = DubheSelector(skewed_federation, group1_config(), seed=0)
+        selected = selector.select(0)
+        pop = selector.population_of(selected)
+        assert pop.shape == (10,)
+        assert pop.sum() == pytest.approx(1.0)
+        assert 0 <= selector.bias_of(selected) <= 2

@@ -1,0 +1,110 @@
+"""Tests for fixed-point encoding of floats for Paillier."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.encoding import DEFAULT_PRECISION, EncodedNumber, FixedPointEncoder
+from repro.crypto.paillier import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def pk():
+    return generate_keypair(key_size=128, rng=random.Random(11)).public_key
+
+
+class TestEncoderBasics:
+    def test_default_scale(self):
+        enc = FixedPointEncoder()
+        assert enc.scale == 10**DEFAULT_PRECISION
+
+    def test_encode_decode_float(self):
+        enc = FixedPointEncoder()
+        assert enc.decode(enc.encode(0.125)) == pytest.approx(0.125, abs=1e-9)
+
+    def test_encode_decode_int(self):
+        enc = FixedPointEncoder()
+        assert enc.decode(enc.encode(7)) == pytest.approx(7.0)
+
+    def test_encode_negative(self):
+        enc = FixedPointEncoder()
+        assert enc.decode(enc.encode(-0.4)) == pytest.approx(-0.4, abs=1e-9)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            FixedPointEncoder().encode(True)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError):
+            FixedPointEncoder().encode("0.5")
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            FixedPointEncoder(base=1)
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            FixedPointEncoder(precision=-1)
+
+    def test_decode_scale_mismatch_rejected(self):
+        enc = FixedPointEncoder(precision=6)
+        other = EncodedNumber(123, base=10, precision=3)
+        with pytest.raises(ValueError):
+            enc.decode(other)
+
+
+class TestEncodedNumberArithmetic:
+    def test_addition_is_linear(self):
+        enc = FixedPointEncoder()
+        a, b = enc.encode(0.3), enc.encode(0.45)
+        assert (a + b).decode() == pytest.approx(0.75, abs=1e-9)
+
+    def test_addition_scale_mismatch_rejected(self):
+        a = EncodedNumber(1, precision=3)
+        b = EncodedNumber(1, precision=4)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_add_non_encoded_returns_notimplemented(self):
+        assert EncodedNumber(1).__add__(2) is NotImplemented
+
+
+class TestModularMapping:
+    def test_roundtrip_positive(self, pk):
+        enc = FixedPointEncoder()
+        e = enc.encode(0.62)
+        assert enc.from_modular(enc.to_modular(e, pk), pk).decode() == pytest.approx(0.62, abs=1e-9)
+
+    def test_roundtrip_negative(self, pk):
+        enc = FixedPointEncoder()
+        e = enc.encode(-3.5)
+        assert enc.decode_modular(enc.to_modular(e, pk), pk) == pytest.approx(-3.5, abs=1e-9)
+
+    def test_overflow_detected(self, pk):
+        enc = FixedPointEncoder(precision=0)
+        huge = EncodedNumber(pk.n, base=10, precision=0)
+        with pytest.raises(OverflowError):
+            enc.to_modular(huge, pk)
+
+
+@settings(max_examples=200, deadline=None)
+@given(x=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False))
+def test_property_encode_decode_roundtrip(x):
+    """encode → decode recovers the value to within the fixed-point resolution."""
+    enc = FixedPointEncoder()
+    assert enc.decode(enc.encode(x)) == pytest.approx(x, abs=2.0 / enc.scale)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.floats(min_value=0, max_value=1, allow_nan=False),
+    b=st.floats(min_value=0, max_value=1, allow_nan=False),
+)
+def test_property_encoding_is_additive(a, b):
+    """Fixed-point encoding commutes with addition (up to one rounding ulp)."""
+    enc = FixedPointEncoder()
+    direct = enc.encode(a + b).decode()
+    summed = (enc.encode(a) + enc.encode(b)).decode()
+    assert summed == pytest.approx(direct, abs=2.0 / enc.scale)

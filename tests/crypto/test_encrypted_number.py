@@ -1,0 +1,99 @@
+"""Tests for EncryptedNumber homomorphic arithmetic on floats."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.encrypted_number import EncryptedNumber, decrypt_number, encrypt_number
+from repro.crypto.paillier import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(key_size=128, rng=random.Random(31337))
+
+
+@pytest.fixture(scope="module")
+def pk(keypair):
+    return keypair.public_key
+
+
+@pytest.fixture(scope="module")
+def sk(keypair):
+    return keypair.private_key
+
+
+class TestEncryptDecrypt:
+    @pytest.mark.parametrize("x", [0.0, 1.0, 0.1, -2.75, 123.456, -0.0001])
+    def test_roundtrip(self, pk, sk, x):
+        assert EncryptedNumber.encrypt(pk, x).decrypt(sk) == pytest.approx(x, abs=1e-9)
+
+    def test_functional_helpers(self, pk, sk):
+        assert decrypt_number(sk, encrypt_number(pk, 2.5)) == pytest.approx(2.5)
+
+    def test_wrong_private_key_rejected(self, pk):
+        other = generate_keypair(key_size=128, rng=random.Random(1)).private_key
+        with pytest.raises(ValueError):
+            EncryptedNumber.encrypt(pk, 1.0).decrypt(other)
+
+    def test_nbytes_matches_key(self, pk):
+        assert EncryptedNumber.encrypt(pk, 1.0).nbytes() == pk.ciphertext_bytes()
+
+
+class TestArithmetic:
+    def test_cipher_plus_cipher(self, pk, sk):
+        c = EncryptedNumber.encrypt(pk, 0.25) + EncryptedNumber.encrypt(pk, 0.5)
+        assert c.decrypt(sk) == pytest.approx(0.75, abs=1e-9)
+
+    def test_cipher_plus_plain(self, pk, sk):
+        c = EncryptedNumber.encrypt(pk, 0.25) + 0.5
+        assert c.decrypt(sk) == pytest.approx(0.75, abs=1e-9)
+
+    def test_plain_plus_cipher(self, pk, sk):
+        c = 1.5 + EncryptedNumber.encrypt(pk, -0.5)
+        assert c.decrypt(sk) == pytest.approx(1.0, abs=1e-9)
+
+    def test_scalar_multiplication(self, pk, sk):
+        c = EncryptedNumber.encrypt(pk, 0.3) * 4
+        assert c.decrypt(sk) == pytest.approx(1.2, abs=1e-9)
+
+    def test_rmul(self, pk, sk):
+        c = 4 * EncryptedNumber.encrypt(pk, 0.3)
+        assert c.decrypt(sk) == pytest.approx(1.2, abs=1e-9)
+
+    def test_float_scalar_rejected(self, pk):
+        with pytest.raises(TypeError):
+            EncryptedNumber.encrypt(pk, 0.3) * 1.5
+
+    def test_bool_scalar_rejected(self, pk):
+        with pytest.raises(TypeError):
+            EncryptedNumber.encrypt(pk, 0.3) * True
+
+    def test_cross_key_addition_rejected(self, pk):
+        other_pk = generate_keypair(key_size=128, rng=random.Random(5)).public_key
+        with pytest.raises(ValueError):
+            EncryptedNumber.encrypt(pk, 1.0) + EncryptedNumber.encrypt(other_pk, 1.0)
+
+    def test_add_unrelated_type_notimplemented(self, pk):
+        assert EncryptedNumber.encrypt(pk, 1.0).__add__("x") is NotImplemented
+
+
+class TestObfuscation:
+    def test_obfuscate_changes_ciphertext_not_plaintext(self, pk, sk):
+        c = EncryptedNumber.encrypt(pk, 0.7)
+        o = c.obfuscate()
+        assert o.ciphertext != c.ciphertext
+        assert o.decrypt(sk) == pytest.approx(0.7, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    a=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    b=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+def test_property_float_homomorphism(a, b):
+    kp = generate_keypair(key_size=128, rng=random.Random(77))
+    c = EncryptedNumber.encrypt(kp.public_key, a) + EncryptedNumber.encrypt(kp.public_key, b)
+    assert c.decrypt(kp.private_key) == pytest.approx(a + b, abs=1e-8)

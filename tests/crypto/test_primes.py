@@ -1,0 +1,79 @@
+"""Unit tests for prime generation (Miller-Rabin and friends)."""
+
+import random
+
+import pytest
+
+from repro.crypto.primes import (
+    SMALL_PRIMES,
+    generate_distinct_primes,
+    generate_prime,
+    is_probable_prime,
+)
+
+
+class TestSmallPrimeTable:
+    def test_table_starts_correctly(self):
+        assert SMALL_PRIMES[:10] == (2, 3, 5, 7, 11, 13, 17, 19, 23, 29)
+
+    def test_table_contains_only_primes(self):
+        for p in SMALL_PRIMES[:200]:
+            assert is_probable_prime(p)
+
+    def test_table_is_sorted_and_unique(self):
+        assert list(SMALL_PRIMES) == sorted(set(SMALL_PRIMES))
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 11, 101, 7919, 104729, 2**61 - 1])
+    def test_known_primes(self, n):
+        assert is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 9, 15, 21, 100, 7917, 2**61 - 3])
+    def test_known_composites_and_trivia(self, n):
+        assert not is_probable_prime(n)
+
+    def test_negative_numbers_are_not_prime(self):
+        assert not is_probable_prime(-7)
+
+    def test_carmichael_numbers_rejected(self):
+        # Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+            assert not is_probable_prime(n)
+
+    def test_large_semiprime_rejected(self):
+        p = generate_prime(64, rng=random.Random(0))
+        q = generate_prime(64, rng=random.Random(1))
+        assert not is_probable_prime(p * q)
+
+    def test_deterministic_with_seeded_rng(self):
+        rng1 = random.Random(42)
+        rng2 = random.Random(42)
+        n = 2**89 - 1  # Mersenne prime
+        assert is_probable_prime(n, rng=rng1) == is_probable_prime(n, rng=rng2)
+
+
+class TestGeneratePrime:
+    @pytest.mark.parametrize("bits", [16, 32, 64, 128])
+    def test_bit_length_exact(self, bits):
+        p = generate_prime(bits, rng=random.Random(bits))
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+    def test_generated_prime_is_odd(self):
+        p = generate_prime(32, rng=random.Random(7))
+        assert p % 2 == 1
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+    def test_seeded_generation_is_reproducible(self):
+        a = generate_prime(48, rng=random.Random(123))
+        b = generate_prime(48, rng=random.Random(123))
+        assert a == b
+
+    def test_distinct_primes_are_distinct(self):
+        p, q = generate_distinct_primes(32, rng=random.Random(5))
+        assert p != q
+        assert is_probable_prime(p) and is_probable_prime(q)

@@ -1,0 +1,94 @@
+"""Tests for half-normal global skew generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.distributions import imbalance_ratio
+from repro.data.skew import (
+    apply_global_skew,
+    half_normal_class_proportions,
+    skewed_class_counts,
+)
+
+
+class TestHalfNormalProportions:
+    @pytest.mark.parametrize("rho", [1.0, 2.0, 5.0, 10.0, 13.64])
+    def test_ratio_is_exact(self, rho):
+        p = half_normal_class_proportions(10, rho)
+        assert p.max() / p.min() == pytest.approx(rho, rel=1e-9)
+
+    def test_sums_to_one(self):
+        p = half_normal_class_proportions(10, 5.0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_rho_one_is_uniform(self):
+        np.testing.assert_allclose(half_normal_class_proportions(4, 1.0), [0.25] * 4)
+
+    def test_monotone_decreasing_without_shuffle(self):
+        p = half_normal_class_proportions(10, 10.0)
+        assert np.all(np.diff(p) <= 1e-12)
+
+    def test_shuffle_permutes(self):
+        rng = np.random.default_rng(0)
+        p = half_normal_class_proportions(10, 10.0, rng=rng, shuffle=True)
+        assert not np.all(np.diff(p) <= 0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_single_class(self):
+        np.testing.assert_allclose(half_normal_class_proportions(1, 5.0), [1.0])
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            half_normal_class_proportions(10, 0.5)
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValueError):
+            half_normal_class_proportions(0, 2.0)
+
+
+class TestSkewedClassCounts:
+    def test_total_is_exact(self):
+        counts = skewed_class_counts(10_000, 10, 10.0)
+        assert counts.sum() == 10_000
+
+    def test_every_class_has_samples(self):
+        counts = skewed_class_counts(500, 10, 50.0)
+        assert np.all(counts >= 1)
+
+    @pytest.mark.parametrize("rho", [2.0, 5.0, 10.0])
+    def test_achieved_rho_close_to_target(self, rho):
+        counts = skewed_class_counts(50_000, 10, rho)
+        assert imbalance_ratio(counts) == pytest.approx(rho, rel=0.05)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            skewed_class_counts(5, 10, 2.0)
+
+
+class TestApplyGlobalSkew:
+    def test_skews_a_balanced_label_array(self):
+        rng = np.random.default_rng(1)
+        labels = np.repeat(np.arange(10), 1000)
+        keep = apply_global_skew(labels, 10, 10.0, rng=rng)
+        kept_counts = np.bincount(labels[keep], minlength=10)
+        assert imbalance_ratio(kept_counts) == pytest.approx(10.0, rel=0.15)
+
+    def test_indices_are_valid(self):
+        labels = np.repeat(np.arange(5), 100)
+        keep = apply_global_skew(labels, 5, 3.0, rng=np.random.default_rng(0))
+        assert keep.min() >= 0 and keep.max() < len(labels)
+        assert len(np.unique(keep)) == len(keep)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    num_classes=st.integers(min_value=2, max_value=60),
+    rho=st.floats(min_value=1.0, max_value=100.0),
+)
+def test_property_half_normal_is_valid_distribution(num_classes, rho):
+    p = half_normal_class_proportions(num_classes, rho)
+    assert p.sum() == pytest.approx(1.0)
+    assert np.all(p > 0)
+    assert p.max() / p.min() == pytest.approx(rho, rel=1e-6)

@@ -1,0 +1,129 @@
+"""Tests for Module/Parameter plumbing: state dicts, flattening, cloning."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.models import MLP
+from repro.nn.module import Module, Parameter
+
+
+class TestParameter:
+    def test_value_and_grad_shapes_match(self):
+        p = Parameter(np.ones((3, 2)))
+        assert p.shape == (3, 2)
+        assert p.grad.shape == (3, 2)
+        assert p.size == 6
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(4))
+        p.grad += 3.0
+        p.zero_grad()
+        np.testing.assert_array_equal(p.grad, np.zeros(4))
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_of_nested_model(self):
+        model = MLP(8, 3, hidden=(5,), seed=0)
+        names = [name for name, _ in model.named_parameters()]
+        assert "net.layers.1.weight" in names
+        assert "net.layers.1.bias" in names
+        assert len(names) == 4  # two linear layers x (weight, bias)
+
+    def test_num_parameters(self):
+        model = MLP(8, 3, hidden=(5,), seed=0)
+        assert model.num_parameters() == 8 * 5 + 5 + 5 * 3 + 3
+
+    def test_zero_grad_clears_all(self):
+        model = MLP(4, 2, hidden=(3,), seed=0)
+        for p in model.parameters():
+            p.grad += 1.0
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+    def test_children_iterates_submodules(self):
+        seq = Sequential(Linear(3, 2, seed=0), ReLU())
+        assert len(list(seq.children())) == 2
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = MLP(6, 4, hidden=(5,), seed=0)
+        b = MLP(6, 4, hidden=(5,), seed=1)
+        assert not np.allclose(a.flatten_parameters(), b.flatten_parameters())
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.flatten_parameters(), b.flatten_parameters())
+
+    def test_state_dict_is_a_copy(self):
+        model = MLP(4, 2, seed=0)
+        state = model.state_dict()
+        first_key = next(iter(state))
+        state[first_key][:] = 99.0
+        assert not np.allclose(dict(model.named_parameters())[first_key].value, 99.0)
+
+    def test_missing_key_rejected(self):
+        model = MLP(4, 2, seed=0)
+        state = model.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        model = MLP(4, 2, seed=0)
+        state = model.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        model = MLP(4, 2, seed=0)
+        state = model.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestFlattening:
+    def test_flatten_roundtrip(self):
+        model = MLP(5, 3, hidden=(4,), seed=0)
+        flat = model.flatten_parameters()
+        other = MLP(5, 3, hidden=(4,), seed=9)
+        other.load_flat_parameters(flat)
+        np.testing.assert_allclose(other.flatten_parameters(), flat)
+
+    def test_flatten_length(self):
+        model = MLP(5, 3, hidden=(4,), seed=0)
+        assert model.flatten_parameters().size == model.num_parameters()
+
+    def test_wrong_length_rejected(self):
+        model = MLP(5, 3, seed=0)
+        with pytest.raises(ValueError):
+            model.load_flat_parameters(np.zeros(3))
+
+    def test_flatten_gradients(self):
+        model = MLP(5, 3, hidden=(4,), seed=0)
+        for p in model.parameters():
+            p.grad += 2.0
+        assert np.all(model.flatten_gradients() == 2.0)
+
+
+class TestCloneAndModes:
+    def test_clone_is_independent(self):
+        model = MLP(4, 2, seed=0)
+        clone = model.clone()
+        clone.parameters()[0].value += 1.0
+        assert not np.allclose(model.flatten_parameters(), clone.flatten_parameters())
+
+    def test_train_eval_propagate(self):
+        model = MLP(4, 2, seed=0)
+        model.eval()
+        assert all(not layer.training for layer in model.net.layers)
+        model.train()
+        assert all(layer.training for layer in model.net.layers)
+
+    def test_base_module_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(np.zeros(1))
+        with pytest.raises(NotImplementedError):
+            Module().backward(np.zeros(1))
