@@ -24,7 +24,8 @@ from typing import Optional
 
 import numpy as np
 
-from ..crypto.paillier import generate_keypair
+from ..crypto.packing import PackedEncryptedVector, PackingScheme
+from ..crypto.paillier import NoisePool, generate_keypair
 from ..crypto.vector import EncryptedVector, plaintext_vector_bytes
 
 __all__ = [
@@ -37,7 +38,12 @@ __all__ = [
 
 @dataclass(frozen=True)
 class EncryptionOverheadReport:
-    """Measured cost of encrypting/decrypting one vector of a given length."""
+    """Measured cost of encrypting/decrypting one vector of a given length.
+
+    The ``packed_*`` fields are populated when the packed
+    (BatchCrypt-style) code path was also measured; they describe the same
+    logical vector shipped as ``⌈l/slots⌉`` packed ciphertexts.
+    """
 
     vector_length: int
     key_size: int
@@ -45,6 +51,11 @@ class EncryptionOverheadReport:
     ciphertext_bytes: int
     encrypt_seconds: float
     decrypt_seconds: float
+    packed_clients: Optional[int] = None
+    packed_ciphertexts: Optional[int] = None
+    packed_ciphertext_bytes: Optional[int] = None
+    packed_encrypt_seconds: Optional[float] = None
+    packed_decrypt_seconds: Optional[float] = None
 
     @property
     def plaintext_kb(self) -> float:
@@ -58,9 +69,23 @@ class EncryptionOverheadReport:
     def expansion_factor(self) -> float:
         return self.ciphertext_bytes / max(self.plaintext_bytes, 1)
 
+    @property
+    def packed_expansion_factor(self) -> Optional[float]:
+        """Packed ciphertext size relative to plaintext size."""
+        if self.packed_ciphertext_bytes is None:
+            return None
+        return self.packed_ciphertext_bytes / max(self.plaintext_bytes, 1)
+
+    @property
+    def packing_gain(self) -> Optional[float]:
+        """Wire-size ratio per-component / packed (higher is better)."""
+        if not self.packed_ciphertext_bytes:
+            return None
+        return self.ciphertext_bytes / self.packed_ciphertext_bytes
+
     def as_row(self) -> dict:
         """A flat dict suitable for printing as one row of the §6.4 table."""
-        return {
+        row = {
             "vector_length": self.vector_length,
             "key_size": self.key_size,
             "plaintext_kb": round(self.plaintext_kb, 3),
@@ -69,6 +94,14 @@ class EncryptionOverheadReport:
             "encrypt_s": round(self.encrypt_seconds, 4),
             "decrypt_s": round(self.decrypt_seconds, 4),
         }
+        if self.packed_ciphertext_bytes is not None:
+            row.update({
+                "packed_kb": round(self.packed_ciphertext_bytes / 1024.0, 3),
+                "packed_expansion": round(self.packed_expansion_factor, 1),
+                "packed_encrypt_s": round(self.packed_encrypt_seconds, 4),
+                "packed_decrypt_s": round(self.packed_decrypt_seconds, 4),
+            })
+        return row
 
 
 @dataclass(frozen=True)
@@ -93,17 +126,26 @@ class CommunicationOverheadReport:
 
 def measure_encryption_overhead(vector_length: int, key_size: int,
                                 trials: int = 1,
-                                rng_seed: Optional[int] = None) -> EncryptionOverheadReport:
+                                rng_seed: Optional[int] = None,
+                                packed_clients: Optional[int] = None,
+                                ) -> EncryptionOverheadReport:
     """Measure plaintext/ciphertext sizes and encrypt/decrypt wall time.
 
     The measured vector mimics a registry: a one-hot vector of the given
     length (values are irrelevant for cost — Paillier cost depends only on
     key size and vector length).
+
+    When *packed_clients* is given, the packed code path is measured too:
+    the same vector shipped as ``⌈l/slots⌉`` ciphertexts with per-slot
+    headroom for *packed_clients* homomorphic additions, with the noise
+    terms precomputed (the deployment configuration the packing exists for).
     """
     if vector_length < 1:
         raise ValueError("vector_length must be positive")
     if trials < 1:
         raise ValueError("trials must be positive")
+    if packed_clients is not None and packed_clients < 1:
+        raise ValueError("packed_clients must be positive when given")
     rng = random.Random(rng_seed)
     keypair = generate_keypair(key_size, rng=rng if rng_seed is not None else None)
     values = np.zeros(vector_length)
@@ -122,6 +164,35 @@ def measure_encryption_overhead(vector_length: int, key_size: int,
         encrypted.decrypt(keypair.private_key)
         decrypt_times.append(perf_counter() - start)
 
+    packed_fields: dict = {}
+    if packed_clients is not None:
+        scheme = PackingScheme(keypair.public_key, vector_length,
+                               max_weight=packed_clients)
+        noise = NoisePool(keypair.public_key,
+                          rng=rng if rng_seed is not None else None)
+        packed_encrypt_times = []
+        packed_decrypt_times = []
+        packed_bytes = 0
+        packed_count = 0
+        for _ in range(trials):
+            noise.refill(scheme.num_ciphertexts)
+            start = perf_counter()
+            packed = PackedEncryptedVector.encrypt(keypair.public_key, values,
+                                                   scheme=scheme, noise=noise)
+            packed_encrypt_times.append(perf_counter() - start)
+            packed_bytes = packed.nbytes()
+            packed_count = len(packed.ciphertexts)
+            start = perf_counter()
+            packed.decrypt(keypair.private_key)
+            packed_decrypt_times.append(perf_counter() - start)
+        packed_fields = {
+            "packed_clients": packed_clients,
+            "packed_ciphertexts": packed_count,
+            "packed_ciphertext_bytes": packed_bytes,
+            "packed_encrypt_seconds": float(np.mean(packed_encrypt_times)),
+            "packed_decrypt_seconds": float(np.mean(packed_decrypt_times)),
+        }
+
     return EncryptionOverheadReport(
         vector_length=vector_length,
         key_size=key_size,
@@ -129,6 +200,7 @@ def measure_encryption_overhead(vector_length: int, key_size: int,
         ciphertext_bytes=ciphertext_bytes,
         encrypt_seconds=float(np.mean(encrypt_times)),
         decrypt_seconds=float(np.mean(decrypt_times)),
+        **packed_fields,
     )
 
 

@@ -23,9 +23,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..crypto.batch import AnyEncryptedVector, BatchCryptoExecutor, encrypt_one
+from ..crypto.encoding import DEFAULT_BASE, DEFAULT_PRECISION
 from ..crypto.keyagent import KeyAgent
-from ..crypto.paillier import PaillierPublicKey
-from ..crypto.vector import EncryptedVector, plaintext_vector_bytes
+from ..crypto.packing import DEFAULT_MAX_WEIGHT, PackingScheme
+from ..crypto.paillier import NoisePool, PaillierPublicKey
+from ..crypto.vector import plaintext_vector_bytes
 from .config import DubheConfig
 from .registry import RegistrationResult, RegistryCodebook
 
@@ -47,6 +50,9 @@ class ProtocolStats:
     ciphertext_bytes: int = 0
     encrypt_seconds: float = 0.0
     decrypt_seconds: float = 0.0
+    #: Offline cost of pre-generating ``r^n mod n²`` noise; kept separate
+    #: from ``encrypt_seconds`` because it can run ahead of the round.
+    noise_precompute_seconds: float = 0.0
 
     def merged_with(self, other: "ProtocolStats") -> "ProtocolStats":
         return ProtocolStats(
@@ -55,6 +61,8 @@ class ProtocolStats:
             ciphertext_bytes=self.ciphertext_bytes + other.ciphertext_bytes,
             encrypt_seconds=self.encrypt_seconds + other.encrypt_seconds,
             decrypt_seconds=self.decrypt_seconds + other.decrypt_seconds,
+            noise_precompute_seconds=(self.noise_precompute_seconds
+                                      + other.noise_precompute_seconds),
         )
 
     @property
@@ -70,42 +78,75 @@ class SecureAggregationServer:
 
     The class deliberately has no attribute that could hold a private key and
     no decryption method — tests assert this structural property.
+
+    Aggregation is *streaming*: each received vector is folded into a single
+    running homomorphic sum, so server memory is O(1) in the number of
+    clients (one ciphertext vector) rather than O(N).
     """
 
     def __init__(self, public_key: PaillierPublicKey):
         self.public_key = public_key
-        self._received: list[EncryptedVector] = []
+        self._aggregate: Optional[AnyEncryptedVector] = None
+        self._count = 0
         self.stats = ProtocolStats()
 
-    def receive(self, ciphertext: EncryptedVector) -> None:
-        """Accept one client's encrypted vector."""
+    def receive(self, ciphertext: AnyEncryptedVector) -> None:
+        """Accept one client's encrypted vector and fold it into the sum."""
         if ciphertext.public_key != self.public_key:
             raise ValueError("ciphertext was produced under a different round key")
-        self._received.append(ciphertext)
+        if self._aggregate is None:
+            # copy so in-place accumulation never mutates the sender's object
+            self._aggregate = ciphertext.copy()
+        else:
+            self._aggregate.add_(ciphertext)
+        self._count += 1
         self.stats.messages += 1
         self.stats.ciphertext_bytes += ciphertext.nbytes()
 
-    def aggregate(self) -> EncryptedVector:
-        """Homomorphically sum every received vector (still encrypted)."""
-        if not self._received:
+    def aggregate(self) -> AnyEncryptedVector:
+        """The homomorphic sum of every received vector (still encrypted).
+
+        Returns a copy, so callers can keep (or mutate) the result while the
+        server continues to fold in late arrivals.
+        """
+        if self._aggregate is None:
             raise ValueError("no ciphertexts received")
-        return EncryptedVector.sum(self._received)
+        return self._aggregate.copy()
 
     @property
     def received_count(self) -> int:
-        return len(self._received)
+        return self._count
 
     def reset(self) -> None:
-        self._received = []
+        self._aggregate = None
+        self._count = 0
 
 
 class SecureClient:
-    """A client's view of the secure protocol: encrypt before transmitting."""
+    """A client's view of the secure protocol: encrypt before transmitting.
 
-    def __init__(self, client_id: int, distribution: np.ndarray):
+    Parameters
+    ----------
+    packed:
+        When ``True`` the client transmits BatchCrypt-style packed
+        ciphertexts (``⌈l/slots⌉`` ciphertexts per vector) instead of one
+        ciphertext per component.
+    max_weight:
+        Packing headroom: how many clients' vectors the server may sum into
+        the packed ciphertext.  Required when *packed*.
+    noise:
+        Optional :class:`NoisePool` of precomputed ``r^n mod n²`` terms.
+    """
+
+    def __init__(self, client_id: int, distribution: np.ndarray,
+                 packed: bool = False, max_weight: Optional[int] = None,
+                 noise: Optional[NoisePool] = None):
         self.client_id = client_id
         self.distribution = np.asarray(distribution, dtype=float)
         self.registration: Optional[RegistrationResult] = None
+        self.packed = packed
+        self.max_weight = max_weight
+        self.noise = noise
         self.stats = ProtocolStats()
 
     def register(self, codebook: RegistryCodebook) -> RegistrationResult:
@@ -113,24 +154,72 @@ class SecureClient:
         self.registration = codebook.register(self.distribution)
         return self.registration
 
-    def _encrypt(self, values: np.ndarray, public_key: PaillierPublicKey) -> EncryptedVector:
-        start = perf_counter()
-        ciphertext = EncryptedVector.encrypt(public_key, values)
-        self.stats.encrypt_seconds += perf_counter() - start
+    def record_transmission(self, values: np.ndarray,
+                            ciphertext: AnyEncryptedVector,
+                            encrypt_seconds: float) -> None:
+        """Account for one transmitted vector (used by batched encryption)."""
+        self.stats.encrypt_seconds += encrypt_seconds
         self.stats.messages += 1
         self.stats.plaintext_bytes += plaintext_vector_bytes(values)
         self.stats.ciphertext_bytes += ciphertext.nbytes()
+
+    def _encrypt(self, values: np.ndarray,
+                 public_key: PaillierPublicKey) -> AnyEncryptedVector:
+        if self.packed and self.max_weight is None:
+            raise ValueError("packed clients need max_weight (the n_clients headroom)")
+        start = perf_counter()
+        # the same worker body the batch executor runs, so the client-side
+        # and round-level encryption paths cannot drift apart
+        ciphertext = encrypt_one(
+            public_key, values, packed=self.packed,
+            max_weight=(self.max_weight if self.max_weight is not None
+                        else DEFAULT_MAX_WEIGHT),
+            base=DEFAULT_BASE, precision=DEFAULT_PRECISION, max_abs_value=1.0,
+            noise=self.noise, rng=None)
+        self.record_transmission(values, ciphertext, perf_counter() - start)
         return ciphertext
 
-    def encrypted_registry(self, public_key: PaillierPublicKey) -> EncryptedVector:
+    def encrypted_registry(self, public_key: PaillierPublicKey) -> AnyEncryptedVector:
         """The encrypted registry this client sends to the server."""
         if self.registration is None:
             raise RuntimeError("client has not registered yet")
         return self._encrypt(self.registration.registry, public_key)
 
-    def encrypted_distribution(self, public_key: PaillierPublicKey) -> EncryptedVector:
+    def encrypted_distribution(self, public_key: PaillierPublicKey) -> AnyEncryptedVector:
         """The encrypted label distribution sent during multi-time selection."""
         return self._encrypt(self.distribution, public_key)
+
+
+def _noise_terms_needed(public_key: PaillierPublicKey, vector_length: int,
+                        n_clients: int, packed: bool, max_weight: int) -> int:
+    """How many ``r^n`` terms a round of *n_clients* encryptions consumes."""
+    if not packed:
+        return vector_length * n_clients
+    scheme = PackingScheme(public_key, vector_length, max_weight=max_weight)
+    return scheme.num_ciphertexts * n_clients
+
+
+def _encrypt_and_deliver(public_key: PaillierPublicKey,
+                         clients: Sequence[SecureClient],
+                         vectors: Sequence[np.ndarray],
+                         server: "SecureAggregationServer",
+                         executor: BatchCryptoExecutor, packed: bool,
+                         max_weight: int,
+                         noise: Optional[NoisePool]) -> None:
+    """Encrypt every client's vector in one batch and stream it to the server.
+
+    Shared by registration and distribution aggregation so the stats
+    attribution (wall time split evenly across clients) and delivery order
+    cannot drift between the two protocols.
+    """
+    start = perf_counter()
+    encrypted = executor.encrypt_many(public_key, vectors, packed=packed,
+                                      max_weight=max_weight, noise=noise)
+    encrypt_seconds = perf_counter() - start
+    for client, values, ciphertext in zip(clients, vectors, encrypted):
+        client.record_transmission(values, ciphertext,
+                                   encrypt_seconds / len(clients))
+        server.receive(ciphertext)
 
 
 @dataclass
@@ -139,10 +228,30 @@ class SecureRegistrationRound:
 
     Returns the overall registry exactly as each client would decrypt it,
     plus the overhead statistics of every role.
+
+    Parameters
+    ----------
+    packed:
+        Transmit packed ciphertexts (``⌈l/slots⌉`` per registry, headroom for
+        all N clients' additions).  Packed and per-component rounds decrypt
+        to bit-identical overall registries.
+    executor_mode, max_workers:
+        Back-end for encrypting all N clients' registries
+        (``"sequential"`` / ``"thread"`` / ``"process"``, mirroring
+        :class:`~repro.federated.executor.LocalUpdateExecutor`).  Only
+        ``"process"`` parallelises the modular exponentiations in CPython
+        (big-int ``pow`` holds the GIL); see :mod:`repro.crypto.batch`.
+    precompute_noise:
+        Pre-generate every ``r^n mod n²`` term in a :class:`NoisePool`
+        before the timed encryption phase (amortised/offline noise).
     """
 
     config: DubheConfig
     agent: Optional[KeyAgent] = None
+    packed: bool = False
+    executor_mode: str = "sequential"
+    max_workers: Optional[int] = None
+    precompute_noise: bool = False
     _stats: ProtocolStats = field(default_factory=ProtocolStats)
 
     def run(self, client_distributions: Sequence[np.ndarray] | np.ndarray,
@@ -151,6 +260,8 @@ class SecureRegistrationRound:
         distributions = np.asarray(client_distributions, dtype=float)
         if distributions.ndim != 2:
             raise ValueError("client_distributions must be 2-D")
+        if distributions.shape[0] == 0:
+            raise ValueError("client_distributions is empty")
         codebook = RegistryCodebook(self.config)
         agent = self.agent or KeyAgent(key_size=self.config.key_size)
         keypair = agent.new_round()
@@ -160,10 +271,23 @@ class SecureRegistrationRound:
 
         clients = [SecureClient(k, distributions[k]) for k in range(n_clients)]
         server = SecureAggregationServer(keypair.public_key)
-        registrations: list[RegistrationResult] = []
-        for client in clients:
-            registrations.append(client.register(codebook))
-            server.receive(client.encrypted_registry(keypair.public_key))
+        registrations = [client.register(codebook) for client in clients]
+        registries = [registration.registry for registration in registrations]
+
+        noise: Optional[NoisePool] = None
+        noise_seconds = 0.0
+        if self.precompute_noise:
+            start = perf_counter()
+            noise = NoisePool(keypair.public_key)
+            noise.refill(_noise_terms_needed(
+                keypair.public_key, len(registries[0]), n_clients,
+                self.packed, max_weight=n_clients))
+            noise_seconds = perf_counter() - start
+
+        executor = BatchCryptoExecutor(self.executor_mode, self.max_workers)
+        _encrypt_and_deliver(keypair.public_key, clients, registries, server,
+                             executor, self.packed, max_weight=n_clients,
+                             noise=noise)
         encrypted_total = server.aggregate()
 
         # every client can decrypt the synchronized aggregate with sk_t; we
@@ -177,6 +301,7 @@ class SecureRegistrationRound:
             stats = stats.merged_with(client.stats)
         stats = stats.merged_with(server.stats)
         stats.decrypt_seconds += decrypt_seconds
+        stats.noise_precompute_seconds += noise_seconds
         # synchronising the aggregate back to N clients is N more messages
         stats.messages += n_clients
         stats.ciphertext_bytes += encrypted_total.nbytes() * n_clients
@@ -193,10 +318,19 @@ class SecureDistributionAggregation:
     individual clients are never visible to the server.
     """
 
-    def __init__(self, config: DubheConfig, agent: Optional[KeyAgent] = None):
+    def __init__(self, config: DubheConfig, agent: Optional[KeyAgent] = None,
+                 packed: bool = False, executor_mode: str = "sequential",
+                 max_workers: Optional[int] = None,
+                 precompute_noise: bool = False):
         self.config = config
         self.agent = agent or KeyAgent(key_size=config.key_size)
         self.keypair = self.agent.new_round()
+        self.packed = packed
+        self.executor = BatchCryptoExecutor(executor_mode, max_workers)
+        self.precompute_noise = precompute_noise
+        self.noise: Optional[NoisePool] = (
+            NoisePool(self.keypair.public_key) if precompute_noise else None
+        )
         self.stats = ProtocolStats()
 
     def score_selection(self, client_distributions: np.ndarray,
@@ -208,8 +342,19 @@ class SecureDistributionAggregation:
             raise ValueError("cannot score an empty selection")
         server = SecureAggregationServer(self.keypair.public_key)
         clients = [SecureClient(k, distributions[k]) for k in selected]
-        for client in clients:
-            server.receive(client.encrypted_distribution(self.keypair.public_key))
+
+        noise_seconds = 0.0
+        if self.noise is not None:
+            start = perf_counter()
+            self.noise.refill(_noise_terms_needed(
+                self.keypair.public_key, distributions.shape[1], len(selected),
+                self.packed, max_weight=len(selected)))
+            noise_seconds = perf_counter() - start
+
+        vectors = [distributions[k] for k in selected]
+        _encrypt_and_deliver(self.keypair.public_key, clients, vectors, server,
+                             self.executor, self.packed,
+                             max_weight=len(selected), noise=self.noise)
         aggregate = server.aggregate()
         uniform = np.full(self.config.num_classes, 1.0 / self.config.num_classes)
         score = self.agent.score_population(aggregate, uniform)
@@ -217,6 +362,6 @@ class SecureDistributionAggregation:
         for client in clients:
             round_stats = round_stats.merged_with(client.stats)
         round_stats = round_stats.merged_with(server.stats)
-        round_stats.decrypt_seconds += 0.0
+        round_stats.noise_precompute_seconds += noise_seconds
         self.stats = self.stats.merged_with(round_stats)
         return score

@@ -9,15 +9,23 @@ Public API
 * :class:`EncryptedNumber` — a single additively homomorphic ciphertext.
 * :class:`EncryptedVector` — element-wise encrypted vectors (registries and
   label distributions).
+* :class:`PackedEncryptedVector`, :class:`PackingScheme` — BatchCrypt-style
+  ciphertext packing (many slots per ciphertext).
+* :class:`NoisePool` — precomputed encryption noise ``r^n mod n²``.
+* :class:`BatchCryptoExecutor`, :func:`encrypt_many`, :func:`decrypt_many` —
+  parallel bulk encryption/decryption.
 * :class:`KeyAgent` — the per-round key-generation / decryption agent role.
 """
 
+from .batch import BatchCryptoExecutor, decrypt_many, encrypt_many
 from .encoding import DEFAULT_BASE, DEFAULT_PRECISION, EncodedNumber, FixedPointEncoder
 from .encrypted_number import EncryptedNumber, decrypt_number, encrypt_number
 from .keyagent import AgentStats, KeyAgent
+from .packing import DEFAULT_MAX_WEIGHT, PackedEncryptedVector, PackingScheme
 from .paillier import (
     DEFAULT_KEY_SIZE,
     PAPER_KEY_SIZE,
+    NoisePool,
     PaillierKeypair,
     PaillierPrivateKey,
     PaillierPublicKey,
@@ -30,17 +38,24 @@ __all__ = [
     "DEFAULT_BASE",
     "DEFAULT_PRECISION",
     "DEFAULT_KEY_SIZE",
+    "DEFAULT_MAX_WEIGHT",
     "PAPER_KEY_SIZE",
     "AgentStats",
+    "BatchCryptoExecutor",
     "EncodedNumber",
     "EncryptedNumber",
     "EncryptedVector",
     "FixedPointEncoder",
     "KeyAgent",
+    "NoisePool",
+    "PackedEncryptedVector",
+    "PackingScheme",
     "PaillierKeypair",
     "PaillierPrivateKey",
     "PaillierPublicKey",
+    "decrypt_many",
     "decrypt_number",
+    "encrypt_many",
     "encrypt_number",
     "generate_distinct_primes",
     "generate_keypair",

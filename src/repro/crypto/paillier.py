@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 import random
 import secrets
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -37,6 +38,7 @@ __all__ = [
     "PaillierPublicKey",
     "PaillierPrivateKey",
     "PaillierKeypair",
+    "NoisePool",
     "generate_keypair",
     "DEFAULT_KEY_SIZE",
     "PAPER_KEY_SIZE",
@@ -73,30 +75,71 @@ class PaillierPublicKey:
 
     # -- encryption ---------------------------------------------------------
 
-    def get_random_lt_n(self, rng: Optional[random.Random] = None) -> int:
-        """Draw a random element of ``Z_n*`` used as encryption noise."""
+    def get_random_lt_n(self, rng: Optional[random.Random] = None,
+                        check_coprime: bool = True) -> int:
+        """Draw a random element of ``Z_n*`` used as encryption noise.
+
+        With ``check_coprime=False`` the gcd rejection loop is skipped.  For a
+        well-formed modulus (a product of two large primes) a uniform draw
+        from ``[1, n)`` fails to be coprime with probability
+        ``(p + q - 1)/n ≈ 2^{1-n.bit_length()/2}`` — negligible for any real
+        key size — so production deployments (FATE's batched encryptors)
+        sample without the gcd check.
+        """
         while True:
             if rng is None:
                 r = secrets.randbelow(self.n - 1) + 1
             else:
                 r = rng.randrange(1, self.n)
-            if math.gcd(r, self.n) == 1:
+            if not check_coprime or math.gcd(r, self.n) == 1:
                 return r
 
     def raw_encrypt(self, plaintext: int, r_value: Optional[int] = None,
-                    rng: Optional[random.Random] = None) -> int:
+                    rng: Optional[random.Random] = None,
+                    rn_value: Optional[int] = None,
+                    obfuscate: bool = True) -> int:
         """Encrypt an integer plaintext already reduced into ``Z_n``.
 
         With ``g = n + 1`` the term ``g^m mod n²`` simplifies to
         ``1 + n·m mod n²``, avoiding one modular exponentiation.
+
+        Parameters
+        ----------
+        r_value:
+            Explicit noise ``r``; ``r^n mod n²`` is still computed here.
+        rn_value:
+            Precomputed ``r^n mod n²`` (e.g. from a :class:`NoisePool`),
+            skipping the modular exponentiation entirely — the dominant cost
+            of Paillier encryption.
+        obfuscate:
+            When ``False`` (and no noise is supplied) the deterministic,
+            noise-free ciphertext ``g^m mod n²`` is returned; it must be
+            re-randomised with :meth:`raw_obfuscate` before transmission.
         """
         if not isinstance(plaintext, int):
             raise TypeError(f"plaintext must be int, got {type(plaintext).__name__}")
         m = plaintext % self.n
         gm = (1 + self.n * m) % self.nsquare
+        if rn_value is not None:
+            return (gm * rn_value) % self.nsquare
+        if r_value is None and not obfuscate:
+            return gm
         r = r_value if r_value is not None else self.get_random_lt_n(rng)
         rn = pow(r, self.n, self.nsquare)
         return (gm * rn) % self.nsquare
+
+    def raw_obfuscate(self, ciphertext: int, rn_value: Optional[int] = None,
+                      rng: Optional[random.Random] = None) -> int:
+        """Re-randomise a raw ciphertext by multiplying in fresh noise.
+
+        Used for deferred obfuscation: encrypt cheaply with
+        ``raw_encrypt(..., obfuscate=False)``, then apply noise (possibly from
+        a :class:`NoisePool`) just before the ciphertext leaves the client.
+        """
+        if rn_value is None:
+            r = self.get_random_lt_n(rng)
+            rn_value = pow(r, self.n, self.nsquare)
+        return (ciphertext * rn_value) % self.nsquare
 
     # -- homomorphic primitives on raw ciphertexts --------------------------
 
@@ -133,6 +176,91 @@ class PaillierPublicKey:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PaillierPublicKey(bits={self.key_size})"
+
+
+class NoisePool:
+    """A pool of precomputed encryption noise terms ``r^n mod n²``.
+
+    The modular exponentiation ``pow(r, n, n²)`` dominates Paillier
+    encryption cost (the ``g^m`` term is a single multiplication thanks to
+    ``g = n + 1``).  Because the noise is independent of the plaintext it can
+    be generated ahead of time — during idle periods, on other cores, or
+    between protocol rounds — and consumed in O(1) per encryption.  This is
+    the "advance obfuscation" optimisation of FATE/BatchCrypt-style
+    deployments.
+
+    The pool is thread-safe so a shared instance can feed a thread-pool
+    encryptor (:mod:`repro.crypto.batch`).
+
+    Parameters
+    ----------
+    public_key:
+        Key whose modulus the noise is generated for.
+    rng:
+        Optional seeded RNG for reproducible pools in tests; secure
+        randomness is used when omitted.
+    batch_size:
+        How many terms :meth:`take` generates at once when the pool runs dry.
+    check_coprime:
+        Forwarded to :meth:`PaillierPublicKey.get_random_lt_n`; the default
+        ``False`` uses the fast path that skips the gcd rejection loop.
+    """
+
+    def __init__(self, public_key: PaillierPublicKey,
+                 rng: Optional[random.Random] = None,
+                 batch_size: int = 64,
+                 check_coprime: bool = False):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.public_key = public_key
+        self.rng = rng
+        self.batch_size = batch_size
+        self.check_coprime = check_coprime
+        self.generated = 0
+        self._pool: list[int] = []
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def _generate(self, count: int) -> list[int]:
+        pk = self.public_key
+        return [
+            pow(pk.get_random_lt_n(self.rng, check_coprime=self.check_coprime),
+                pk.n, pk.nsquare)
+            for _ in range(count)
+        ]
+
+    def refill(self, count: int) -> None:
+        """Batch-generate *count* noise terms into the pool."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        fresh = self._generate(count)
+        with self._lock:
+            self._pool.extend(fresh)
+            self.generated += count
+
+    def take(self) -> int:
+        """Pop one precomputed ``r^n mod n²``, refilling a batch if empty."""
+        with self._lock:
+            if self._pool:
+                return self._pool.pop()
+        self.refill(self.batch_size)
+        return self.take()
+
+    def take_many(self, count: int) -> list[int]:
+        """Pop *count* noise terms, generating any shortfall in one batch."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        with self._lock:
+            grabbed = self._pool[-count:] if count else []
+            del self._pool[len(self._pool) - len(grabbed):]
+        shortfall = count - len(grabbed)
+        if shortfall:
+            grabbed.extend(self._generate(shortfall))
+            with self._lock:
+                self.generated += shortfall
+        return grabbed
 
 
 class PaillierPrivateKey:

@@ -17,14 +17,32 @@ from __future__ import annotations
 
 import pickle
 import random
-from typing import Iterable, Optional, Sequence
+from functools import lru_cache
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from .encoding import DEFAULT_BASE, DEFAULT_PRECISION, FixedPointEncoder
-from .paillier import PaillierPrivateKey, PaillierPublicKey
+from .paillier import NoisePool, PaillierPrivateKey, PaillierPublicKey
 
 __all__ = ["EncryptedVector", "plaintext_vector_bytes"]
+
+
+@lru_cache(maxsize=None)
+def _encoder_for(base: int, precision: int) -> FixedPointEncoder:
+    """Shared encoder instances — one per (base, precision), not per call."""
+    return FixedPointEncoder(base, precision)
+
+
+@lru_cache(maxsize=4096)
+def _plaintext_bytes_for_length(length: int) -> int:
+    """Pickled size of a length-*length* list of floats.
+
+    pickle encodes every float as a fixed 9-byte BINFLOAT (and does not
+    memoize float objects), so the payload size depends only on the length —
+    memoizing per length avoids re-pickling the vector on every stats call.
+    """
+    return len(pickle.dumps([0.0] * length))
 
 
 def plaintext_vector_bytes(values: Sequence[float] | np.ndarray) -> int:
@@ -35,7 +53,7 @@ def plaintext_vector_bytes(values: Sequence[float] | np.ndarray) -> int:
     numbers; we use the same convention so the overhead comparison is
     apples-to-apples.
     """
-    return len(pickle.dumps([float(v) for v in values]))
+    return _plaintext_bytes_for_length(len(values))
 
 
 class EncryptedVector:
@@ -50,28 +68,63 @@ class EncryptedVector:
 
     # -- construction --------------------------------------------------------
 
+    @staticmethod
+    def encoder_for(base: int = DEFAULT_BASE,
+                    precision: int = DEFAULT_PRECISION) -> FixedPointEncoder:
+        """A shared, cached encoder for the given fixed-point scale."""
+        return _encoder_for(base, precision)
+
     @classmethod
     def encrypt(cls, public_key: PaillierPublicKey,
                 values: Iterable[float] | np.ndarray,
                 encoder: Optional[FixedPointEncoder] = None,
-                rng: Optional[random.Random] = None) -> "EncryptedVector":
-        """Encrypt every component of *values* under *public_key*."""
-        encoder = encoder or FixedPointEncoder()
+                rng: Optional[random.Random] = None,
+                noise: Optional[Union[NoisePool, Sequence[int]]] = None,
+                ) -> "EncryptedVector":
+        """Encrypt every component of *values* under *public_key*.
+
+        When *noise* is given (a :class:`NoisePool` or a pre-drawn sequence
+        of ``r^n mod n²`` terms), each component consumes one precomputed
+        term instead of running a modular exponentiation.
+        """
+        encoder = encoder or _encoder_for(DEFAULT_BASE, DEFAULT_PRECISION)
+        flat = np.asarray(list(values), dtype=float).ravel()
+        if noise is None:
+            rn_values = None
+        elif isinstance(noise, NoisePool):
+            rn_values = noise.take_many(len(flat))
+        else:
+            rn_values = list(noise)
+            if len(rn_values) < len(flat):
+                raise ValueError(f"need {len(flat)} noise terms, got {len(rn_values)}")
+        # registries are mostly-zero 0/1 vectors: cache the encoded modular
+        # value per distinct component so encode/to_modular run once per value
+        modular_of: dict[float, int] = {}
         ciphertexts = []
-        for v in np.asarray(list(values), dtype=float).ravel():
-            encoded = encoder.encode(float(v))
-            modular = encoder.to_modular(encoded, public_key)
-            ciphertexts.append(public_key.raw_encrypt(modular, rng=rng))
+        for i, v in enumerate(flat):
+            v = float(v)
+            modular = modular_of.get(v)
+            if modular is None:
+                modular = encoder.to_modular(encoder.encode(v), public_key)
+                modular_of[v] = modular
+            rn = rn_values[i] if rn_values is not None else None
+            ciphertexts.append(public_key.raw_encrypt(modular, rng=rng, rn_value=rn))
         return cls(public_key, ciphertexts, encoder.base, encoder.precision)
 
     def decrypt(self, private_key: PaillierPrivateKey) -> np.ndarray:
         """Decrypt back to a float ndarray."""
         if private_key.public_key != self.public_key:
             raise ValueError("private key does not match this vector's public key")
-        encoder = FixedPointEncoder(self.base, self.precision)
+        # hoist the modular constants out of the per-component loop
+        n = self.public_key.n
+        half_n = n // 2
+        scale = _encoder_for(self.base, self.precision).scale
         out = np.empty(len(self.ciphertexts), dtype=float)
         for i, c in enumerate(self.ciphertexts):
-            out[i] = encoder.decode_modular(private_key.raw_decrypt(c), self.public_key)
+            value = private_key.raw_decrypt(c)
+            if value > half_n:
+                value -= n
+            out[i] = value / scale
         return out
 
     # -- homomorphic algebra --------------------------------------------------
@@ -89,12 +142,7 @@ class EncryptedVector:
     def __add__(self, other: "EncryptedVector") -> "EncryptedVector":
         if not isinstance(other, EncryptedVector):
             return NotImplemented
-        self._check_compatible(other)
-        summed = [
-            self.public_key.raw_add(a, b)
-            for a, b in zip(self.ciphertexts, other.ciphertexts)
-        ]
-        return EncryptedVector(self.public_key, summed, self.base, self.precision)
+        return self.copy().add_(other)
 
     def scale(self, scalar: int) -> "EncryptedVector":
         """Multiply every encrypted component by a plaintext integer scalar."""
@@ -103,14 +151,35 @@ class EncryptedVector:
         scaled = [self.public_key.raw_mul(c, scalar) for c in self.ciphertexts]
         return EncryptedVector(self.public_key, scaled, self.base, self.precision)
 
+    def copy(self) -> "EncryptedVector":
+        """A ciphertext-level copy (safe to accumulate into in place)."""
+        return EncryptedVector(self.public_key, self.ciphertexts, self.base,
+                               self.precision)
+
+    def add_(self, other: "EncryptedVector") -> "EncryptedVector":
+        """In-place homomorphic addition (streaming aggregation)."""
+        if not isinstance(other, EncryptedVector):
+            raise TypeError("can only add another EncryptedVector")
+        self._check_compatible(other)
+        nsquare = self.public_key.nsquare
+        own = self.ciphertexts
+        theirs = other.ciphertexts
+        for i in range(len(own)):
+            own[i] = own[i] * theirs[i] % nsquare
+        return self
+
     @staticmethod
     def sum(vectors: Sequence["EncryptedVector"]) -> "EncryptedVector":
-        """Homomorphically sum a non-empty sequence of encrypted vectors."""
+        """Homomorphically sum a non-empty sequence of encrypted vectors.
+
+        A single accumulator of modular products — no per-addend
+        EncryptedVector allocations or Python-level zips.
+        """
         if not vectors:
             raise ValueError("cannot sum an empty sequence of encrypted vectors")
-        total = vectors[0]
+        total = vectors[0].copy()
         for v in vectors[1:]:
-            total = total + v
+            total.add_(v)
         return total
 
     # -- sizes / serialization -------------------------------------------------

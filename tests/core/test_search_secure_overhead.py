@@ -147,6 +147,117 @@ class TestSecureProtocol:
             secure.score_selection(federation_distributions, [])
 
 
+class TestPackedSecureProtocol:
+    """The packed pipeline must be a drop-in replacement, bit for bit."""
+
+    def test_packed_round_bit_identical_to_per_component(self, federation_distributions):
+        subset = federation_distributions[:10]
+        config = settled_config(key_size=256)
+        plain, _, plain_stats = SecureRegistrationRound(
+            config, agent=KeyAgent(key_size=256, rng=random.Random(21))).run(subset)
+        packed, _, packed_stats = SecureRegistrationRound(
+            config, agent=KeyAgent(key_size=256, rng=random.Random(21)),
+            packed=True, precompute_noise=True).run(subset)
+        np.testing.assert_array_equal(plain, packed)
+        # packing shrinks the wire and keeps the message count
+        assert packed_stats.ciphertext_bytes < plain_stats.ciphertext_bytes
+        assert packed_stats.messages == plain_stats.messages
+        assert packed_stats.noise_precompute_seconds > 0
+
+    def test_packed_round_parallel_executors(self, federation_distributions):
+        subset = federation_distributions[:8]
+        config = settled_config(key_size=256)
+        baseline, _, _ = SecureRegistrationRound(
+            config, agent=KeyAgent(key_size=256, rng=random.Random(22))).run(subset)
+        for mode in ("thread", "process"):
+            overall, _, stats = SecureRegistrationRound(
+                config, agent=KeyAgent(key_size=256, rng=random.Random(22)),
+                packed=True, executor_mode=mode, max_workers=2).run(subset)
+            np.testing.assert_array_equal(baseline, overall)
+            assert stats.encrypt_seconds > 0
+
+    def test_packed_client_transmits_packed_ciphertexts(self, federation_distributions):
+        from repro.crypto.packing import PackedEncryptedVector
+        from repro.crypto.paillier import NoisePool
+
+        keypair = generate_keypair(256, rng=random.Random(24))
+        pool = NoisePool(keypair.public_key, rng=random.Random(25))
+        server = SecureAggregationServer(keypair.public_key)
+        clients = [SecureClient(k, federation_distributions[k], packed=True,
+                                max_weight=4, noise=pool) for k in range(4)]
+        for client in clients:
+            ciphertext = client.encrypted_distribution(keypair.public_key)
+            assert isinstance(ciphertext, PackedEncryptedVector)
+            server.receive(ciphertext)
+        total = server.aggregate().decrypt(keypair.private_key)
+        expected = federation_distributions[:4].sum(axis=0)
+        np.testing.assert_allclose(total, expected, atol=1e-9)
+
+    def test_packed_client_requires_max_weight(self, federation_distributions):
+        keypair = generate_keypair(256, rng=random.Random(26))
+        client = SecureClient(0, federation_distributions[0], packed=True)
+        with pytest.raises(ValueError):
+            client.encrypted_distribution(keypair.public_key)
+        zero = SecureClient(0, federation_distributions[0], packed=True, max_weight=0)
+        with pytest.raises(ValueError):
+            zero.encrypted_distribution(keypair.public_key)
+
+    def test_packed_scoring_bit_identical(self, federation_distributions):
+        config = settled_config(key_size=256)
+        selected = [0, 3, 5, 8]
+        plain = SecureDistributionAggregation(
+            config, agent=KeyAgent(key_size=256, rng=random.Random(23)),
+        ).score_selection(federation_distributions, selected)
+        packed = SecureDistributionAggregation(
+            config, agent=KeyAgent(key_size=256, rng=random.Random(23)),
+            packed=True, precompute_noise=True,
+        ).score_selection(federation_distributions, selected)
+        assert plain == packed
+
+
+class TestStreamingAggregation:
+    def test_received_count_and_aggregate(self):
+        keypair = generate_keypair(128, rng=random.Random(31))
+        server = SecureAggregationServer(keypair.public_key)
+        clients = [SecureClient(k, np.full(4, 0.25)) for k in range(5)]
+        for client in clients:
+            server.receive(client.encrypted_distribution(keypair.public_key))
+        assert server.received_count == 5
+        total = server.aggregate().decrypt(keypair.private_key)
+        np.testing.assert_allclose(total, np.full(4, 1.25), atol=1e-9)
+
+    def test_memory_is_constant_in_clients(self):
+        keypair = generate_keypair(128, rng=random.Random(32))
+        server = SecureAggregationServer(keypair.public_key)
+        client = SecureClient(0, np.full(4, 0.1))
+        for _ in range(7):
+            server.receive(client.encrypted_distribution(keypair.public_key))
+        # one running aggregate, not a buffer of received vectors
+        buffers = [v for v in vars(server).values() if isinstance(v, list)]
+        assert not buffers
+        assert server.received_count == 7
+
+    def test_receive_does_not_mutate_sender_ciphertext(self):
+        keypair = generate_keypair(128, rng=random.Random(33))
+        server = SecureAggregationServer(keypair.public_key)
+        client = SecureClient(0, np.full(3, 0.5))
+        first = client.encrypted_distribution(keypair.public_key)
+        original = list(first.ciphertexts)
+        server.receive(first)
+        server.receive(client.encrypted_distribution(keypair.public_key))
+        assert first.ciphertexts == original
+
+    def test_reset_clears_the_stream(self):
+        keypair = generate_keypair(128, rng=random.Random(34))
+        server = SecureAggregationServer(keypair.public_key)
+        client = SecureClient(0, np.full(3, 0.5))
+        server.receive(client.encrypted_distribution(keypair.public_key))
+        server.reset()
+        assert server.received_count == 0
+        with pytest.raises(ValueError):
+            server.aggregate()
+
+
 class TestOverheadAccounting:
     def test_encryption_overhead_report(self):
         report = measure_encryption_overhead(vector_length=56, key_size=128, rng_seed=0)
@@ -169,6 +280,25 @@ class TestOverheadAccounting:
             measure_encryption_overhead(0, 128)
         with pytest.raises(ValueError):
             measure_encryption_overhead(10, 128, trials=0)
+        with pytest.raises(ValueError):
+            measure_encryption_overhead(10, 256, packed_clients=0)
+
+    def test_packed_overhead_report(self):
+        report = measure_encryption_overhead(vector_length=56, key_size=256,
+                                             rng_seed=0, packed_clients=100)
+        assert report.packed_ciphertexts < 56
+        assert report.packed_ciphertext_bytes < report.ciphertext_bytes
+        assert report.packed_expansion_factor < report.expansion_factor
+        assert report.packing_gain > 1
+        row = report.as_row()
+        assert row["packed_kb"] < row["ciphertext_kb"]
+        assert {"packed_expansion", "packed_encrypt_s", "packed_decrypt_s"} <= set(row)
+
+    def test_report_without_packed_measurement_has_no_packed_columns(self):
+        report = measure_encryption_overhead(vector_length=8, key_size=128, rng_seed=0)
+        assert report.packed_expansion_factor is None
+        assert report.packing_gain is None
+        assert "packed_kb" not in report.as_row()
 
     def test_communication_counts_match_paper_formulas(self):
         report = communication_overhead(n_clients=1000, participants_per_round=20,

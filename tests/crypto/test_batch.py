@@ -1,0 +1,179 @@
+"""Tests for precomputed noise (NoisePool) and parallel batch crypto."""
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.crypto.batch import BatchCryptoExecutor, decrypt_many, encrypt_many
+from repro.crypto.packing import PackedEncryptedVector
+from repro.crypto.paillier import NoisePool, generate_keypair
+from repro.crypto.vector import EncryptedVector
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(key_size=128, rng=random.Random(314))
+
+
+@pytest.fixture(scope="module")
+def pk(keypair):
+    return keypair.public_key
+
+
+@pytest.fixture(scope="module")
+def sk(keypair):
+    return keypair.private_key
+
+
+class TestRawEncryptFastPaths:
+    def test_rn_value_matches_r_value(self, pk):
+        r = pk.get_random_lt_n(random.Random(1))
+        rn = pow(r, pk.n, pk.nsquare)
+        assert pk.raw_encrypt(42, r_value=r) == pk.raw_encrypt(42, rn_value=rn)
+
+    def test_deferred_obfuscation_decrypts_identically(self, pk, sk):
+        bare = pk.raw_encrypt(7, obfuscate=False)
+        assert bare == (1 + pk.n * 7) % pk.nsquare  # deterministic g^m
+        obfuscated = pk.raw_obfuscate(bare, rng=random.Random(2))
+        assert obfuscated != bare
+        assert sk.raw_decrypt(obfuscated) == 7
+
+    def test_obfuscate_with_precomputed_term(self, pk, sk):
+        pool = NoisePool(pk, rng=random.Random(3))
+        c = pk.raw_obfuscate(pk.raw_encrypt(9, obfuscate=False), rn_value=pool.take())
+        assert sk.raw_decrypt(c) == 9
+
+    def test_gcd_skip_fast_path_stays_in_range(self, pk):
+        rng = random.Random(4)
+        for _ in range(32):
+            r = pk.get_random_lt_n(rng, check_coprime=False)
+            assert 1 <= r < pk.n
+
+
+class TestNoisePool:
+    def test_refill_and_take(self, pk):
+        pool = NoisePool(pk, rng=random.Random(0), batch_size=4)
+        pool.refill(3)
+        assert len(pool) == 3
+        term = pool.take()
+        assert 0 < term < pk.nsquare
+        assert len(pool) == 2
+
+    def test_take_auto_refills_when_empty(self, pk):
+        pool = NoisePool(pk, rng=random.Random(1), batch_size=5)
+        assert len(pool) == 0
+        pool.take()
+        assert len(pool) == 4  # one batch generated, one term consumed
+        assert pool.generated == 5
+
+    def test_take_many_covers_shortfall(self, pk):
+        pool = NoisePool(pk, rng=random.Random(2))
+        pool.refill(2)
+        terms = pool.take_many(6)
+        assert len(terms) == 6
+        assert len(pool) == 0
+        assert pool.generated == 6
+
+    def test_terms_decrypt_correctly(self, pk, sk):
+        pool = NoisePool(pk, rng=random.Random(3))
+        for _ in range(5):
+            assert sk.raw_decrypt(pk.raw_encrypt(11, rn_value=pool.take())) == 11
+
+    def test_thread_safety(self, pk):
+        pool = NoisePool(pk, rng=random.Random(4), batch_size=8)
+        pool.refill(64)
+        taken = []
+        lock = threading.Lock()
+
+        def worker():
+            got = [pool.take() for _ in range(8)]
+            with lock:
+                taken.extend(got)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(taken) == 64
+        assert len(set(taken)) == 64  # no term handed out twice
+
+    def test_invalid_arguments(self, pk):
+        with pytest.raises(ValueError):
+            NoisePool(pk, batch_size=0)
+        pool = NoisePool(pk)
+        with pytest.raises(ValueError):
+            pool.refill(-1)
+        with pytest.raises(ValueError):
+            pool.take_many(-1)
+
+
+class TestBatchCryptoExecutor:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return np.random.default_rng(7).uniform(0, 1, (6, 10))
+
+    @pytest.mark.parametrize("mode", ["sequential", "thread", "process"])
+    def test_modes_roundtrip_per_component(self, pk, sk, matrix, mode):
+        executor = BatchCryptoExecutor(mode, max_workers=2)
+        encrypted = executor.encrypt_many(pk, matrix)
+        assert all(isinstance(e, EncryptedVector) for e in encrypted)
+        decrypted = executor.decrypt_many(sk, encrypted)
+        for out, expected in zip(decrypted, matrix):
+            np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("mode", ["sequential", "thread"])
+    def test_modes_roundtrip_packed(self, pk, sk, matrix, mode):
+        executor = BatchCryptoExecutor(mode, max_workers=2)
+        encrypted = executor.encrypt_many(pk, matrix, packed=True, max_weight=8)
+        assert all(isinstance(e, PackedEncryptedVector) for e in encrypted)
+        for out, expected in zip(executor.decrypt_many(sk, encrypted), matrix):
+            np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_modes_produce_identical_plaintexts(self, pk, sk, matrix):
+        results = {}
+        for mode in ("sequential", "thread"):
+            encrypted = BatchCryptoExecutor(mode).encrypt_many(pk, matrix,
+                                                               packed=True,
+                                                               max_weight=8)
+            results[mode] = np.stack(
+                BatchCryptoExecutor(mode).decrypt_many(sk, encrypted))
+        np.testing.assert_array_equal(results["sequential"], results["thread"])
+
+    def test_shared_noise_pool_in_thread_mode(self, pk, sk, matrix):
+        pool = NoisePool(pk, rng=random.Random(8))
+        pool.refill(matrix.size)
+        executor = BatchCryptoExecutor("thread", max_workers=3)
+        encrypted = executor.encrypt_many(pk, matrix, noise=pool)
+        for out, expected in zip(executor.decrypt_many(sk, encrypted), matrix):
+            np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_noise_pool_pre_drawn_for_process_mode(self, pk, sk):
+        vectors = np.random.default_rng(9).uniform(0, 1, (3, 4))
+        pool = NoisePool(pk, rng=random.Random(10))
+        executor = BatchCryptoExecutor("process", max_workers=2)
+        encrypted = executor.encrypt_many(pk, vectors, packed=True, max_weight=4,
+                                          noise=pool)
+        assert pool.generated > 0  # terms drawn in the parent, shipped to workers
+        for out, expected in zip(executor.decrypt_many(sk, encrypted), vectors):
+            np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_empty_input(self, pk, sk):
+        executor = BatchCryptoExecutor("sequential")
+        assert executor.encrypt_many(pk, []) == []
+        assert executor.decrypt_many(sk, []) == []
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            BatchCryptoExecutor("gpu")
+        with pytest.raises(ValueError):
+            BatchCryptoExecutor("thread", max_workers=0)
+
+    def test_convenience_wrappers(self, pk, sk):
+        vectors = [[0.5, 0.25], [0.125, 1.0]]
+        encrypted = encrypt_many(pk, vectors, mode="thread", max_workers=2)
+        decrypted = decrypt_many(sk, encrypted, mode="thread", max_workers=2)
+        np.testing.assert_allclose(np.stack(decrypted), np.asarray(vectors),
+                                   atol=1e-12)
