@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Federated-round throughput benchmark: executor back-ends head-to-head.
+
+Measures the hot loop of the simulation — one full round of local updates
+for the K selected clients (ship global weights, train locally, return
+states) plus server aggregation — under each execution back-end of
+:class:`repro.federated.LocalUpdateExecutor`:
+
+* ``sequential`` — one client after another (the reference);
+* ``thread`` / ``process`` — pool-based parallelism over clients;
+* ``vectorized`` — the cohort back-end: all K clients stacked into one
+  batched tensor program (:mod:`repro.nn.batched`).
+
+The workload is the paper's group-1 client configuration (B = 8, E = 1,
+Adam 1e-4) over equal-size virtual clients (``N_VC`` samples each, the
+FedVC convention) with the benchmark MLP.  Before timing, the harness
+asserts that every back-end reproduces the sequential per-client states to
+≤ 1e-10 from the same starting weights.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py
+
+which writes ``BENCH_sim.json`` next to this repository's ROADMAP.  Use
+``--ks 32 --modes sequential,vectorized --min-speedup 1`` as a CI smoke
+check (exits non-zero when the vectorized back-end fails to beat
+sequential by the given factor in client-updates/sec at the gate K).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from time import perf_counter
+
+import numpy as np
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_REPO_ROOT, "src")) and \
+        os.path.join(_REPO_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.data.synthetic import make_synthetic_mnist  # noqa: E402
+from repro.federated.client import FederatedClient, LocalTrainingConfig  # noqa: E402
+from repro.federated.executor import LocalUpdateExecutor  # noqa: E402
+from repro.federated.server import FederatedServer  # noqa: E402
+from repro.nn.models import MLP  # noqa: E402
+
+#: samples per virtual client (N_VC); a multiple of B = 8 so every
+#: optimisation step runs a full batch
+SAMPLES_PER_CLIENT = 64
+
+#: hidden width of the benchmark MLP (64-dim synthetic MNIST features -> 10)
+HIDDEN = (32,)
+
+EQUIVALENCE_TOL = 1e-10
+
+
+def model_factory():
+    return MLP(64, 10, hidden=HIDDEN, seed=7)
+
+
+def make_cohort(n_clients: int) -> list[FederatedClient]:
+    """K equal-size virtual clients with pre-materialised synthetic data."""
+    generator = make_synthetic_mnist(seed=0)
+    per_class = SAMPLES_PER_CLIENT // generator.num_classes
+    remainder = SAMPLES_PER_CLIENT - per_class * generator.num_classes
+    counts = [per_class + (1 if c < remainder else 0)
+              for c in range(generator.num_classes)]
+    clients = []
+    for k in range(n_clients):
+        dataset = generator.generate(counts, rng=np.random.default_rng(10_000 + k))
+        clients.append(FederatedClient(k, generator.num_classes, dataset=dataset,
+                                       seed=20_000 + k))
+    return clients
+
+
+def check_equivalence(mode: str, clients, config) -> float:
+    """Max |Δ| between this mode's per-client states and sequential ones."""
+    server = FederatedServer(model_factory)
+    global_state = server.global_state()
+    reference = LocalUpdateExecutor("sequential").run_round(
+        clients, model_factory, global_state, config, round_index=0)
+    states = LocalUpdateExecutor(mode).run_round(
+        clients, model_factory, global_state, config, round_index=0)
+    worst = 0.0
+    for a, b in zip(reference, states):
+        for key in a:
+            worst = max(worst, float(np.max(np.abs(a[key] - b[key]))))
+    if worst > EQUIVALENCE_TOL:
+        raise AssertionError(
+            f"{mode} diverges from sequential by {worst:.3e} (> {EQUIVALENCE_TOL})"
+        )
+    return worst
+
+
+def bench_mode(mode: str, n_clients: int, rounds: int, config) -> dict:
+    """Time *rounds* full rounds (local updates + aggregation) under *mode*."""
+    clients = make_cohort(n_clients)
+    worst = check_equivalence(mode, clients, config)
+    server = FederatedServer(model_factory)
+    executor = LocalUpdateExecutor(mode)
+    steps_per_client = (SAMPLES_PER_CLIENT + config.batch_size - 1) // config.batch_size
+    # warm-up round (pools, caches, BLAS threads)
+    states = executor.run_round(clients, model_factory, server.global_state(),
+                                config, round_index=0)
+    server.aggregate(states)
+    start = perf_counter()
+    for r in range(1, rounds + 1):
+        states = executor.run_round(clients, model_factory,
+                                    server.global_state(copy=False), config,
+                                    round_index=r)
+        server.aggregate(states)
+    elapsed = perf_counter() - start
+    return {
+        "mode": mode,
+        "rounds_per_s": round(rounds / elapsed, 3),
+        "client_updates_per_s": round(rounds * n_clients / elapsed, 1),
+        "local_steps_per_s": round(rounds * n_clients * steps_per_client
+                                   * config.local_epochs / elapsed, 1),
+        "round_ms": round(elapsed / rounds * 1e3, 3),
+        "max_abs_diff_vs_sequential": worst,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ks", default="8,32,128",
+                        help="comma-separated cohort sizes K to benchmark")
+    parser.add_argument("--modes", default="sequential,thread,process,vectorized",
+                        help="comma-separated executor modes")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timed rounds per (mode, K) point")
+    parser.add_argument("--out", default=os.path.join(_REPO_ROOT, "BENCH_sim.json"),
+                        help="output JSON path")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail (exit 1) when vectorized client-updates/sec "
+                             "at --gate-k falls below this multiple of sequential")
+    parser.add_argument("--gate-k", type=int, default=32,
+                        help="cohort size checked by --min-speedup")
+    args = parser.parse_args(argv)
+
+    ks = [int(k) for k in args.ks.split(",")]
+    modes = [m.strip() for m in args.modes.split(",")]
+    config = LocalTrainingConfig()  # paper group 1: B=8, E=1, Adam 1e-4
+    results = []
+    for n_clients in ks:
+        row = {"k": n_clients, "samples_per_client": SAMPLES_PER_CLIENT,
+               "modes": {}}
+        for mode in modes:
+            print(f"benchmarking K={n_clients} mode={mode} ...", flush=True)
+            measurement = bench_mode(mode, n_clients, args.rounds, config)
+            row["modes"][mode] = measurement
+            print(f"  {measurement['round_ms']:.1f} ms/round, "
+                  f"{measurement['client_updates_per_s']:.0f} client-updates/s")
+        if "sequential" in row["modes"]:
+            base = row["modes"]["sequential"]["client_updates_per_s"]
+            row["speedup_vs_sequential"] = {
+                mode: round(m["client_updates_per_s"] / base, 2)
+                for mode, m in row["modes"].items() if mode != "sequential"
+            }
+        results.append(row)
+
+    payload = {
+        "benchmark": "simulation_throughput",
+        "generated_by": "benchmarks/bench_sim.py",
+        "machine": {"python": platform.python_version(),
+                    "platform": platform.platform(),
+                    "cpus": os.cpu_count()},
+        "workload": {
+            "model": f"MLP(64, 10, hidden={list(HIDDEN)})",
+            "local": {"batch_size": config.batch_size,
+                      "local_epochs": config.local_epochs,
+                      "optimizer": config.optimizer,
+                      "learning_rate": config.learning_rate},
+            "samples_per_client": SAMPLES_PER_CLIENT,
+            "equivalence_tol": EQUIVALENCE_TOL,
+        },
+        "results": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.min_speedup is not None:
+        gate = next((r for r in results if r["k"] == args.gate_k), None)
+        if gate is None or "vectorized" not in gate["modes"] \
+                or "sequential" not in gate["modes"]:
+            print(f"FAIL: gate needs sequential+vectorized at K={args.gate_k}",
+                  file=sys.stderr)
+            return 1
+        achieved = gate["speedup_vs_sequential"]["vectorized"]
+        if achieved < args.min_speedup:
+            print(f"FAIL: vectorized speedup {achieved}x < required "
+                  f"{args.min_speedup}x at K={args.gate_k}", file=sys.stderr)
+            return 1
+        print(f"OK: vectorized speedup {achieved}x >= {args.min_speedup}x "
+              f"at K={args.gate_k}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

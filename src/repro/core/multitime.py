@@ -11,7 +11,7 @@ parameter search.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -56,6 +56,7 @@ def multi_time_selection(
     population_of: Callable[[Sequence[int]], np.ndarray],
     uniform: np.ndarray,
     tries: int,
+    population_of_many: Callable[[Sequence[Sequence[int]]], np.ndarray] | None = None,
 ) -> MultiTimeResult:
     """Run *tries* tentative draws and keep the one closest to uniform.
 
@@ -70,20 +71,43 @@ def multi_time_selection(
         The target distribution ``p_u``.
     tries:
         Number of tentative selections ``H``.
+    population_of_many:
+        Optional batch counterpart of *population_of*: maps a list of
+        candidate sets to the ``(H, C)`` matrix of their populations.  When
+        given (and the non-empty draws share one size), all H tries are
+        scored with one vectorised pass instead of H Python calls; row ``h``
+        must equal ``population_of(candidates[h])``.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
     uniform = np.asarray(uniform, dtype=float)
+    candidates = [tuple(draw(h)) for h in range(tries)]
+    populations: list[Optional[np.ndarray]] = [None] * tries
+    scores = np.empty(tries)
+    non_empty = [h for h, c in enumerate(candidates) if c]
+    if non_empty:
+        sizes = {len(candidates[h]) for h in non_empty}
+        if population_of_many is not None and len(sizes) == 1:
+            batch = np.asarray(
+                population_of_many([candidates[h] for h in non_empty]), dtype=float
+            )
+            batch_scores = np.abs(batch - uniform[None, :]).sum(axis=1)
+            for j, h in enumerate(non_empty):
+                populations[h] = batch[j]
+                scores[h] = float(batch_scores[j])
+        else:
+            for h in non_empty:
+                populations[h] = np.asarray(population_of(candidates[h]), dtype=float)
+                scores[h] = float(np.abs(populations[h] - uniform).sum())
     results: list[TentativeTry] = []
-    for h in range(tries):
-        candidate = tuple(draw(h))
-        if len(candidate) == 0:
+    for h, candidate in enumerate(candidates):
+        if populations[h] is None:
             # an empty draw is maximally biased; keep it only if every try is empty
             population = uniform * 0.0
             score = float(np.abs(uniform).sum()) + 1.0
         else:
-            population = np.asarray(population_of(candidate), dtype=float)
-            score = float(np.abs(population - uniform).sum())
+            population = populations[h]
+            score = scores[h]
         results.append(TentativeTry(h, candidate, score, population))
     best = min(results, key=lambda t: t.score)
     return MultiTimeResult(best, tuple(results))

@@ -66,6 +66,20 @@ class ClientSelector:
         """``||p_o − p_u||₁`` of a candidate participant set."""
         return float(np.abs(self.population_of(selected) - self.uniform).sum())
 
+    def populations_of(self, candidates: Sequence[Sequence[int]]) -> np.ndarray:
+        """Population distributions of several candidate sets at once.
+
+        Equal-sized candidate sets (the common case: every tentative draw is
+        topped up/trimmed to K) are scored with a single fancy-index and one
+        mean over the member axis; ragged sets fall back to per-candidate
+        calls.  Row ``h`` equals ``population_of(candidates[h])``.
+        """
+        sizes = {len(c) for c in candidates}
+        if len(sizes) == 1:
+            idx = np.asarray([tuple(c) for c in candidates], dtype=int)
+            return self.client_distributions[idx].mean(axis=1)
+        return np.stack([self.population_of(c) for c in candidates])
+
     def select(self, round_index: int) -> list[int]:
         raise NotImplementedError
 
@@ -84,30 +98,38 @@ class GreedySelector(ClientSelector):
     """Astraea-style greedy selection minimising KL(p_o || p_u).
 
     Requires global knowledge of every client's label distribution (not
-    privacy-preserving) and costs ``O(N·K)`` distribution evaluations per
-    round — both drawbacks the paper quantifies.  Serves as the optimal
-    reference ("opt"/"greedy" curves).
+    privacy-preserving) and costs ``O(N·C)`` work per pick — both drawbacks
+    the paper quantifies.  Serves as the optimal reference ("opt"/"greedy"
+    curves).
+
+    Each pick maintains a running population sum (an O(C) update) and scores
+    *all* N candidates with one vectorised ``argmin``: already-selected
+    clients are masked to ``+inf`` instead of being re-gathered through a
+    shrinking index array, so a step performs no per-candidate Python calls
+    and no fancy-index copies of the distribution matrix.
     """
 
     name = "greedy"
 
     def select(self, round_index: int) -> list[int]:
+        distributions = self.client_distributions
+        log_uniform = np.log(self.uniform)
         first = int(self.rng.integers(self.n_clients))
         selected = [first]
-        aggregate = self.client_distributions[first].copy()
+        running = distributions[first].copy()  # running population sum, O(C) to update
         available = np.ones(self.n_clients, dtype=bool)
         available[first] = False
         while len(selected) < self.participants_per_round:
-            candidate_idx = np.flatnonzero(available)
-            # candidate population distributions if each remaining client joined
-            candidate_pop = (aggregate[None, :] + self.client_distributions[candidate_idx])
-            candidate_pop = candidate_pop / candidate_pop.sum(axis=1, keepdims=True)
-            # KL(p_o || p_u) for every candidate, vectorised
-            safe = np.clip(candidate_pop, 1e-12, None)
-            kl = np.sum(safe * (np.log(safe) - np.log(self.uniform[None, :])), axis=1)
-            best = candidate_idx[int(np.argmin(kl))]
-            selected.append(int(best))
-            aggregate += self.client_distributions[best]
+            # population distribution of every candidate joining, all N at once
+            candidate_pop = running[None, :] + distributions
+            candidate_pop /= candidate_pop.sum(axis=1, keepdims=True)
+            np.clip(candidate_pop, 1e-12, None, out=candidate_pop)
+            # KL(p_o || p_u) per candidate; taken clients cannot win the argmin
+            kl = np.sum(candidate_pop * (np.log(candidate_pop) - log_uniform), axis=1)
+            kl[~available] = np.inf
+            best = int(np.argmin(kl))
+            selected.append(best)
+            running += distributions[best]
             available[best] = False
         return selected
 
@@ -179,6 +201,7 @@ class DubheSelector(ClientSelector):
             population_of=self.population_of,
             uniform=self.uniform,
             tries=self.config.tentative_selections,
+            population_of_many=self.populations_of,
         )
         self.last_result = result
         return list(result.best.candidate)

@@ -13,8 +13,12 @@ Public API
   :class:`SyntheticImageGenerator`, :func:`make_synthetic_mnist`,
   :func:`make_synthetic_cifar`, :func:`make_femnist_federation`.
 * FedVC virtual clients — :func:`make_virtual_clients`.
+* cohort execution — :class:`DatasetCache` (bounded LRU pool of client
+  datasets), :func:`stack_cohort` / :class:`Cohort` (dense ``(K, N_vc, …)``
+  stacking for the vectorized back-end).
 """
 
+from .cohort import Cohort, CohortShapeError, DatasetCache, stack_cohort
 from .dataloader import DataLoader
 from .dataset import ArrayDataset, Subset, train_test_split
 from .distributions import (
@@ -55,7 +59,10 @@ from .virtual_clients import VirtualClientMapping, make_virtual_clients
 __all__ = [
     "ArrayDataset",
     "ClientPartition",
+    "Cohort",
+    "CohortShapeError",
     "DataLoader",
+    "DatasetCache",
     "DirichletPartitioner",
     "EMDTargetPartitioner",
     "FEMNIST_NUM_CLASSES",
@@ -83,6 +90,7 @@ __all__ = [
     "normalize_counts",
     "population_distribution",
     "skewed_class_counts",
+    "stack_cohort",
     "train_test_split",
     "uniform_distribution",
     "validate_distribution",

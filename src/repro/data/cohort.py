@@ -1,0 +1,126 @@
+"""Cohort stacking and pooled client-dataset generation.
+
+Two pieces of plumbing for the vectorized (cohort) execution back-end:
+
+* :class:`DatasetCache` — a bounded, thread-safe LRU pool of materialised
+  client datasets keyed by client id.  Synthetic client data is generated
+  deterministically from a per-client seed, so eviction is safe (a re-selected
+  evicted client regenerates bit-identical data) while repeatedly-selected
+  clients stop paying the generation cost every round.
+* :func:`stack_cohort` — stack the K selected clients' datasets into one
+  ``(K, N_vc, …)`` features array and ``(K, N_vc)`` labels array, the layout
+  every batched kernel consumes.  Virtual clients all hold the same number of
+  samples (the paper's FedVC convention), which is what makes the cohort a
+  dense rectangular tensor; ragged cohorts raise :class:`CohortShapeError`
+  and callers fall back to per-client execution.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from .dataset import ArrayDataset
+
+__all__ = ["Cohort", "CohortShapeError", "DatasetCache", "stack_cohort"]
+
+
+class CohortShapeError(ValueError):
+    """The client datasets cannot be stacked into one rectangular cohort."""
+
+
+class DatasetCache:
+    """A bounded LRU cache of materialised client datasets.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of client datasets held at once.  The least recently
+        *used* (selected) client is evicted first, so the hot set of
+        frequently-selected clients stays resident while a federation of
+        millions of clients keeps bounded memory.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, ArrayDataset] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, factory: Callable[[], ArrayDataset]) -> ArrayDataset:
+        """The cached dataset for *key*, materialising it via *factory* on miss."""
+        with self._lock:
+            dataset = self._entries.get(key)
+            if dataset is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return dataset
+            self.misses += 1
+        # generate outside the lock: misses on distinct clients can overlap
+        dataset = factory()
+        with self._lock:
+            self._entries[key] = dataset
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return dataset
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DatasetCache(size={len(self._entries)}/{self.capacity}, "
+                f"hits={self.hits}, misses={self.misses})")
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """K clients' datasets stacked into dense ``(K, N_vc, …)`` arrays."""
+
+    x: np.ndarray  #: features, shape ``(K, N_vc, *feature_shape)``
+    y: np.ndarray  #: integer labels, shape ``(K, N_vc)``
+    num_classes: int
+
+    @property
+    def clients(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def samples_per_client(self) -> int:
+        return self.x.shape[1]
+
+
+def stack_cohort(datasets: Sequence[ArrayDataset]) -> Cohort:
+    """Stack per-client datasets into one rectangular cohort.
+
+    All datasets must hold the same number of samples with the same feature
+    shape (the FedVC virtual-client invariant); otherwise
+    :class:`CohortShapeError` is raised.
+    """
+    if not datasets:
+        raise CohortShapeError("cannot stack an empty cohort")
+    xs = [np.asarray(ds.x) for ds in datasets]
+    ys = [np.asarray(ds.y) for ds in datasets]
+    reference = xs[0].shape
+    for k, x in enumerate(xs[1:], start=1):
+        if x.shape != reference:
+            raise CohortShapeError(
+                f"client {k} has data shape {x.shape}, expected {reference}; "
+                "ragged cohorts cannot be vectorized"
+            )
+    num_classes = max(ds.num_classes for ds in datasets)
+    return Cohort(x=np.stack(xs), y=np.stack(ys), num_classes=num_classes)

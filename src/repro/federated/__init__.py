@@ -5,12 +5,21 @@ Public API
 * :class:`FederatedClient`, :class:`LocalTrainingConfig` — local training.
 * :class:`FederatedServer` — global model and aggregation.
 * :func:`average_states`, :func:`weighted_average_states` — FedVC/FedAvg rules.
-* :class:`LocalUpdateExecutor` — sequential/thread/process local updates.
+* :class:`LocalUpdateExecutor` — sequential/thread/process/vectorized local
+  updates (``"vectorized"`` trains the whole cohort as one batched tensor
+  program; see :mod:`repro.nn.batched`).
+* :class:`StackedClientStates` — zero-copy per-client views into the
+  cohort's stacked parameters, aggregated via one mean over the client axis.
 * :class:`FederatedSimulation`, :class:`FederatedConfig` — the round loop.
 * :class:`TrainingHistory`, :class:`RoundRecord` — per-round metrics.
 """
 
-from .aggregation import average_states, state_difference_norm, weighted_average_states
+from .aggregation import (
+    StackedClientStates,
+    average_states,
+    state_difference_norm,
+    weighted_average_states,
+)
 from .client import FederatedClient, LocalTrainingConfig
 from .executor import LocalUpdateExecutor
 from .history import RoundRecord, TrainingHistory
@@ -26,6 +35,7 @@ __all__ = [
     "LocalTrainingConfig",
     "LocalUpdateExecutor",
     "RoundRecord",
+    "StackedClientStates",
     "TrainingHistory",
     "average_states",
     "state_difference_norm",

@@ -13,9 +13,30 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["average_states", "weighted_average_states", "state_difference_norm"]
+__all__ = [
+    "StackedClientStates",
+    "average_states",
+    "weighted_average_states",
+    "state_difference_norm",
+]
 
 StateDict = dict[str, np.ndarray]
+
+
+class StackedClientStates(list):
+    """Per-client state dicts that are zero-copy views into stacked arrays.
+
+    The vectorized executor trains all K clients inside ``(K, *shape)``
+    parameter stacks; this container presents them as the usual list of
+    per-client state dicts (each entry a dict of views, no copies) while
+    keeping the stacks around so aggregation can run as a single ``mean``
+    over the client axis instead of re-stacking K dicts.
+    """
+
+    def __init__(self, per_client: Sequence[StateDict], stacked: StateDict):
+        super().__init__(per_client)
+        #: parameter name -> ``(K, *shape)`` array holding every client's value
+        self.stacked = dict(stacked)
 
 
 def _check_states(states: Sequence[StateDict]) -> None:
@@ -31,7 +52,16 @@ def _check_states(states: Sequence[StateDict]) -> None:
 
 
 def average_states(states: Sequence[StateDict]) -> StateDict:
-    """Uniform average of model states — eq. (1) of the paper (FedVC-style)."""
+    """Uniform average of model states — eq. (1) of the paper (FedVC-style).
+
+    :class:`StackedClientStates` take a fast path: their per-client values
+    already live in one ``(K, *shape)`` array per parameter, so the average
+    is a single ``mean`` over the client axis — the same reduction
+    ``np.mean`` performs after stacking a list of states, hence numerically
+    identical.
+    """
+    if isinstance(states, StackedClientStates):
+        return {k: v.mean(axis=0) for k, v in states.stacked.items()}
     _check_states(states)
     keys = states[0].keys()
     return {k: np.mean([s[k] for s in states], axis=0) for k in keys}

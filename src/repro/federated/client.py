@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..data.cohort import DatasetCache
 from ..data.dataloader import DataLoader
 from ..data.dataset import ArrayDataset
 from ..data.distributions import label_distribution
@@ -66,18 +67,26 @@ class FederatedClient:
         ever generate data).
     num_classes:
         Label-space size ``C``.
+    cache:
+        Optional shared :class:`repro.data.cohort.DatasetCache`.  When given
+        (and the dataset is lazy), materialised data lives in the bounded
+        LRU pool keyed by ``client_id`` instead of being pinned on the
+        client forever — repeatedly-selected clients hit the cache while a
+        federation of millions keeps bounded memory.
     """
 
     def __init__(self, client_id: int, num_classes: int,
                  dataset: Optional[ArrayDataset] = None,
                  dataset_factory: Optional[Callable[[], ArrayDataset]] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 cache: Optional[DatasetCache] = None):
         if dataset is None and dataset_factory is None:
             raise ValueError("provide either dataset or dataset_factory")
         self.client_id = client_id
         self.num_classes = num_classes
         self._dataset = dataset
         self._dataset_factory = dataset_factory
+        self._cache = cache
         self.seed = seed
         self.rounds_participated = 0
 
@@ -85,10 +94,13 @@ class FederatedClient:
 
     @property
     def dataset(self) -> ArrayDataset:
-        """The client's local dataset (materialised lazily)."""
-        if self._dataset is None:
-            assert self._dataset_factory is not None
-            self._dataset = self._dataset_factory()
+        """The client's local dataset (materialised lazily, pooled when cached)."""
+        if self._dataset is not None:
+            return self._dataset
+        assert self._dataset_factory is not None
+        if self._cache is not None:
+            return self._cache.get(self.client_id, self._dataset_factory)
+        self._dataset = self._dataset_factory()
         return self._dataset
 
     @property

@@ -37,9 +37,15 @@ class FederatedServer:
 
     # -- weights -----------------------------------------------------------------
 
-    def global_state(self) -> StateDict:
-        """A copy of the current global weights (what gets sent to clients)."""
-        return self.global_model.state_dict()
+    def global_state(self, copy: bool = True) -> StateDict:
+        """The current global weights (what gets sent to clients).
+
+        ``copy=False`` returns read-only views instead of copies — the round
+        loop uses this to share one global state across all workers, since
+        every back-end copies on load (copy-on-write) and aggregation only
+        happens after all local updates finish.
+        """
+        return self.global_model.state_dict(copy=copy)
 
     def aggregate(self, client_states: Sequence[StateDict],
                   client_weights: Sequence[float] | None = None) -> StateDict:

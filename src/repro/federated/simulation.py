@@ -20,6 +20,7 @@ from typing import Callable, Optional, Protocol, Sequence
 
 import numpy as np
 
+from ..data.cohort import DatasetCache
 from ..data.dataset import ArrayDataset
 from ..data.distributions import emd, uniform_distribution
 from ..data.partition import ClientPartition
@@ -42,12 +43,21 @@ class ClientSelectorProtocol(Protocol):
 
 @dataclass(frozen=True)
 class FederatedConfig:
-    """Top-level configuration of a federated run."""
+    """Top-level configuration of a federated run.
+
+    ``executor_mode`` selects the local-update back-end
+    (``"sequential"``/``"thread"``/``"process"``/``"vectorized"``; see
+    :class:`repro.federated.LocalUpdateExecutor`).  ``dataset_cache_size``
+    bounds the shared LRU pool of materialised client datasets; ``None``
+    disables pooling (each client pins its own data forever, the pre-cache
+    behaviour).
+    """
 
     rounds: int = 20
     eval_every: int = 1
     local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
     executor_mode: str = "sequential"
+    dataset_cache_size: Optional[int] = 1024
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -55,6 +65,8 @@ class FederatedConfig:
             raise ValueError("rounds must be positive")
         if self.eval_every < 1:
             raise ValueError("eval_every must be positive")
+        if self.dataset_cache_size is not None and self.dataset_cache_size < 1:
+            raise ValueError("dataset_cache_size must be positive when given")
 
 
 class FederatedSimulation:
@@ -72,6 +84,10 @@ class FederatedSimulation:
         self.config = config or FederatedConfig()
         self.server = FederatedServer(model_factory)
         self.executor = LocalUpdateExecutor(self.config.executor_mode)
+        self.dataset_cache = (
+            None if self.config.dataset_cache_size is None
+            else DatasetCache(self.config.dataset_cache_size)
+        )
         self._uniform = uniform_distribution(partition.num_classes)
         self._clients: dict[int, FederatedClient] = {}
         self._rng = np.random.default_rng(self.config.seed)
@@ -93,6 +109,7 @@ class FederatedSimulation:
                 num_classes=self.partition.num_classes,
                 dataset_factory=factory,
                 seed=data_seed,
+                cache=self.dataset_cache,
             )
         return self._clients[index]
 
@@ -107,7 +124,9 @@ class FederatedSimulation:
         bias = emd(population, self._uniform)
 
         clients = [self.client(k) for k in selected]
-        global_state = self.server.global_state()
+        # read-only views: every executor back-end copies the state on load,
+        # so one shared global state serves all K workers without K deep copies
+        global_state = self.server.global_state(copy=False)
         states = self.executor.run_round(
             clients, self.server.new_client_model, global_state, self.config.local,
             round_index=round_index,

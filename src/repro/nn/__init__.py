@@ -12,8 +12,19 @@ Public API
 * models — :class:`MLP`, :class:`MnistCNN`, :class:`CifarCNN`,
   :func:`build_model`.
 * metrics — :func:`accuracy`, :func:`evaluate_model`.
+* cohort execution — :class:`BatchedModel`, :class:`BatchedParameter`,
+  :func:`batched_cross_entropy` (train K clients as one batched tensor
+  program; see :mod:`repro.nn.batched`).
 """
 
+from .batched import (
+    BatchedModel,
+    BatchedParameter,
+    UnvectorizableModelError,
+    batched_cross_entropy,
+    register_cohort_chain,
+    register_layer_vectorizer,
+)
 from .conv import AvgPool2d, Conv2d, MaxPool2d, col2im, im2col
 from .init import kaiming_uniform, xavier_uniform, zeros
 from .layers import Dropout, Flatten, Linear, ReLU, Sequential
@@ -26,6 +37,8 @@ from .optim import SGD, Adam, Optimizer
 __all__ = [
     "Adam",
     "AvgPool2d",
+    "BatchedModel",
+    "BatchedParameter",
     "CifarCNN",
     "Conv2d",
     "CrossEntropyLoss",
@@ -41,7 +54,9 @@ __all__ = [
     "ReLU",
     "SGD",
     "Sequential",
+    "UnvectorizableModelError",
     "accuracy",
+    "batched_cross_entropy",
     "build_model",
     "col2im",
     "confusion_matrix",
@@ -50,6 +65,8 @@ __all__ = [
     "kaiming_uniform",
     "log_softmax",
     "per_class_accuracy",
+    "register_cohort_chain",
+    "register_layer_vectorizer",
     "softmax",
     "xavier_uniform",
     "zeros",

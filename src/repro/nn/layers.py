@@ -92,6 +92,7 @@ class Dropout(Module):
         if not 0 <= p < 1:
             raise ValueError("dropout probability must lie in [0, 1)")
         self.p = p
+        self.seed = seed  # retained so the cohort back-end can tell seeded from not
         self.rng = seeded_rng(seed)
         self._mask: Optional[np.ndarray] = None
 

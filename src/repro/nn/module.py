@@ -123,9 +123,22 @@ class Module:
 
     # -- state dict / flattening ---------------------------------------------------
 
-    def state_dict(self) -> dict[str, np.ndarray]:
-        """Copy of every parameter value keyed by its name."""
-        return {name: p.value.copy() for name, p in self.named_parameters()}
+    def state_dict(self, copy: bool = True) -> dict[str, np.ndarray]:
+        """Every parameter value keyed by its name.
+
+        With ``copy=False`` the returned arrays are *read-only views* of the
+        live parameters — no allocation or memcpy.  Safe whenever the dict is
+        consumed before the module trains again (e.g. shipping the global
+        state to in-process workers, which copy on load anyway).
+        """
+        if copy:
+            return {name: p.value.copy() for name, p in self.named_parameters()}
+        state = {}
+        for name, p in self.named_parameters():
+            view = p.value.view()
+            view.flags.writeable = False
+            state[name] = view
+        return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         """Load parameter values (shapes must match exactly)."""

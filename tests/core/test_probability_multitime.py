@@ -155,6 +155,45 @@ class TestMultiTimeSelection:
         with pytest.raises(ValueError):
             multi_time_selection(lambda h: [0], lambda s: np.array([1.0]), np.array([1.0]), 0)
 
+    def test_batch_scoring_matches_per_candidate_path(self):
+        rng = np.random.default_rng(2)
+        dists = rng.dirichlet(np.ones(4), size=20)
+        uniform = np.full(4, 0.25)
+        candidates = {h: list(rng.choice(20, size=6, replace=False)) for h in range(5)}
+
+        def population_of(sel):
+            return dists[list(sel)].mean(axis=0)
+
+        looped = multi_time_selection(
+            lambda h: candidates[h], population_of, uniform, tries=5
+        )
+        batched = multi_time_selection(
+            lambda h: candidates[h], population_of, uniform, tries=5,
+            population_of_many=lambda cands: dists[np.asarray(cands)].mean(axis=1),
+        )
+        assert batched.best.candidate == looped.best.candidate
+        np.testing.assert_allclose(batched.scores, looped.scores, atol=1e-15)
+        np.testing.assert_allclose(batched.best.population, looped.best.population,
+                                   atol=1e-15)
+
+    def test_batch_scoring_skipped_for_ragged_draws(self):
+        dists = np.array([[1.0, 0.0], [0.0, 1.0]])
+        calls = []
+
+        def population_of_many(cands):
+            calls.append(cands)
+            return dists[np.asarray(cands)].mean(axis=1)
+
+        result = multi_time_selection(
+            lambda h: [0] if h == 0 else [0, 1],
+            lambda sel: dists[list(sel)].mean(axis=0),
+            np.array([0.5, 0.5]),
+            tries=2,
+            population_of_many=population_of_many,
+        )
+        assert not calls  # ragged sizes -> per-candidate fallback
+        assert result.best.candidate == (0, 1)
+
     def test_more_tries_never_hurt_in_expectation(self):
         # statistical sanity: best-of-H score is non-increasing in H
         rng = np.random.default_rng(0)

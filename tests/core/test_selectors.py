@@ -88,6 +88,63 @@ class TestGreedySelector:
         assert selector.bias_of(selector.select(0)) < 0.25
 
 
+def reference_greedy_select(selector, round_index):
+    """The pre-optimisation greedy implementation (shrinking candidate set).
+
+    Kept verbatim as the regression reference: the rewritten
+    ``GreedySelector.select`` (running population sum + full-width masked
+    argmin) must reproduce its picks exactly.
+    """
+    first = int(selector.rng.integers(selector.n_clients))
+    selected = [first]
+    aggregate = selector.client_distributions[first].copy()
+    available = np.ones(selector.n_clients, dtype=bool)
+    available[first] = False
+    while len(selected) < selector.participants_per_round:
+        candidate_idx = np.flatnonzero(available)
+        candidate_pop = (aggregate[None, :] + selector.client_distributions[candidate_idx])
+        candidate_pop = candidate_pop / candidate_pop.sum(axis=1, keepdims=True)
+        safe = np.clip(candidate_pop, 1e-12, None)
+        kl = np.sum(safe * (np.log(safe) - np.log(selector.uniform[None, :])), axis=1)
+        best = candidate_idx[int(np.argmin(kl))]
+        selected.append(int(best))
+        aggregate += selector.client_distributions[best]
+        available[best] = False
+    return selected
+
+
+class TestGreedyRegression:
+    @pytest.mark.parametrize("seed", [0, 1, 17])
+    def test_identical_picks_to_reference_implementation(self, skewed_federation, seed):
+        new = GreedySelector(skewed_federation, 20, seed=seed)
+        old = GreedySelector(skewed_federation, 20, seed=seed)
+        for round_index in range(5):
+            assert new.select(round_index) == reference_greedy_select(old, round_index)
+
+    def test_identical_picks_when_selecting_every_client(self):
+        dists = np.random.default_rng(3).dirichlet(np.ones(6), size=12)
+        new = GreedySelector(dists, 12, seed=4)
+        old = GreedySelector(dists, 12, seed=4)
+        assert new.select(0) == reference_greedy_select(old, 0)
+
+
+class TestPopulationsOf:
+    def test_equal_sized_candidates_match_population_of(self, skewed_federation):
+        selector = RandomSelector(skewed_federation, 20, seed=0)
+        candidates = [selector.select(r) for r in range(5)]
+        batch = selector.populations_of(candidates)
+        assert batch.shape == (5, 10)
+        for row, candidate in zip(batch, candidates):
+            np.testing.assert_array_equal(row, selector.population_of(candidate))
+
+    def test_ragged_candidates_fall_back(self, skewed_federation):
+        selector = RandomSelector(skewed_federation, 20, seed=0)
+        candidates = [[0, 1, 2], [3, 4], [5, 6, 7]]
+        batch = selector.populations_of(candidates)
+        for row, candidate in zip(batch, candidates):
+            np.testing.assert_allclose(row, selector.population_of(candidate))
+
+
 class TestDubheSelector:
     def test_selects_exactly_k_distinct(self, skewed_federation):
         selector = DubheSelector(skewed_federation, group1_config(k=20), seed=0)

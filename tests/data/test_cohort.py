@@ -1,0 +1,128 @@
+"""Tests for cohort stacking and the bounded LRU dataset cache."""
+
+import numpy as np
+import pytest
+
+from repro.data.cohort import Cohort, CohortShapeError, DatasetCache, stack_cohort
+from repro.data.dataset import ArrayDataset
+from repro.data.synthetic import make_synthetic_mnist
+from repro.federated.client import FederatedClient
+
+
+def dataset(n=6, seed=0, num_classes=4):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.standard_normal((n, 2, 3, 3)).astype(np.float32),
+                        rng.integers(0, num_classes, size=n), num_classes=num_classes)
+
+
+class TestStackCohort:
+    def test_shapes_and_values(self):
+        datasets = [dataset(seed=s) for s in range(3)]
+        cohort = stack_cohort(datasets)
+        assert isinstance(cohort, Cohort)
+        assert cohort.clients == 3
+        assert cohort.samples_per_client == 6
+        assert cohort.x.shape == (3, 6, 2, 3, 3)
+        assert cohort.y.shape == (3, 6)
+        for k, ds in enumerate(datasets):
+            np.testing.assert_array_equal(cohort.x[k], ds.x)
+            np.testing.assert_array_equal(cohort.y[k], ds.y)
+
+    def test_ragged_sizes_rejected(self):
+        with pytest.raises(CohortShapeError):
+            stack_cohort([dataset(n=6), dataset(n=7)])
+
+    def test_mismatched_feature_shapes_rejected(self):
+        a = dataset(n=4)
+        rng = np.random.default_rng(0)
+        b = ArrayDataset(rng.standard_normal((4, 1, 3, 3)), rng.integers(0, 4, 4),
+                         num_classes=4)
+        with pytest.raises(CohortShapeError):
+            stack_cohort([a, b])
+
+    def test_empty_cohort_rejected(self):
+        with pytest.raises(CohortShapeError):
+            stack_cohort([])
+
+    def test_subset_datasets_stack(self):
+        parent = dataset(n=10)
+        cohort = stack_cohort([parent.subset([0, 1, 2]), parent.subset([3, 4, 5])])
+        assert cohort.x.shape[:2] == (2, 3)
+
+
+class TestDatasetCache:
+    def test_hit_returns_same_object(self):
+        cache = DatasetCache(4)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return dataset()
+
+        a = cache.get(0, factory)
+        b = cache.get(0, factory)
+        assert a is b
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = DatasetCache(2)
+        cache.get("a", dataset)
+        cache.get("b", dataset)
+        cache.get("a", dataset)  # refresh a: b is now least recently used
+        cache.get("c", dataset)  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert len(cache) == 2
+
+    def test_evicted_entry_regenerates_identically(self):
+        # deterministic factories make eviction safe: same bits on re-entry
+        cache = DatasetCache(1)
+        first = cache.get(0, lambda: dataset(seed=5))
+        cache.get(1, lambda: dataset(seed=6))  # evicts client 0
+        again = cache.get(0, lambda: dataset(seed=5))
+        assert first is not again
+        np.testing.assert_array_equal(first.x, again.x)
+        np.testing.assert_array_equal(first.y, again.y)
+
+    def test_clear(self):
+        cache = DatasetCache(2)
+        cache.get(0, dataset)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DatasetCache(0)
+
+
+class TestClientCacheIntegration:
+    def test_cached_client_does_not_pin_dataset(self):
+        gen = make_synthetic_mnist(seed=0)
+        cache = DatasetCache(1)
+        calls = []
+
+        def factory_for(k):
+            def factory():
+                calls.append(k)
+                return gen.generate([2] * 10, rng=np.random.default_rng(k))
+
+            return factory
+
+        a = FederatedClient(0, 10, dataset_factory=factory_for(0), cache=cache)
+        b = FederatedClient(1, 10, dataset_factory=factory_for(1), cache=cache)
+        _ = a.dataset
+        _ = a.dataset  # cache hit, no regeneration
+        assert calls == [0]
+        _ = b.dataset  # evicts client 0 (capacity 1)
+        first = a.dataset  # regenerated deterministically
+        assert calls == [0, 1, 0]
+        np.testing.assert_array_equal(
+            first.x, gen.generate([2] * 10, rng=np.random.default_rng(0)).x
+        )
+
+    def test_eager_dataset_ignores_cache(self):
+        cache = DatasetCache(1)
+        ds = dataset(num_classes=10)
+        client = FederatedClient(0, 10, dataset=ds, cache=cache)
+        assert client.dataset is ds
+        assert len(cache) == 0
