@@ -17,6 +17,16 @@ FedVC convention) with the benchmark MLP.  Before timing, the harness
 asserts that every back-end reproduces the sequential per-client states to
 ≤ 1e-10 from the same starting weights.
 
+Two further sections exercise the round-persistent runtime:
+
+* **multi_round** — one persistent vectorized executor over several rounds
+  with lazy, cache-backed clients: round 1 pays dataset materialisation and
+  workspace construction (flat pools, optimiser state, cohort buffers),
+  rounds 2+ reuse everything.  The section records the cold/warm split and
+  asserts round-2+ equals the sequential multi-round result to ≤ 1e-10.
+* **evaluation** — the server's test pass: sequential 64-sample Python loop
+  vs the forward-only batched evaluator, same predictions asserted.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_sim.py
@@ -24,7 +34,9 @@ Run from the repository root::
 which writes ``BENCH_sim.json`` next to this repository's ROADMAP.  Use
 ``--ks 32 --modes sequential,vectorized --min-speedup 1`` as a CI smoke
 check (exits non-zero when the vectorized back-end fails to beat
-sequential by the given factor in client-updates/sec at the gate K).
+sequential by the given factor in client-updates/sec at the gate K);
+``--min-warm-speedup`` / ``--min-eval-speedup`` gate the round-persistence
+and batched-evaluation sections the same way.
 """
 
 from __future__ import annotations
@@ -43,10 +55,12 @@ if os.path.isdir(os.path.join(_REPO_ROOT, "src")) and \
         os.path.join(_REPO_ROOT, "src") not in sys.path:
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
-from repro.data.synthetic import make_synthetic_mnist  # noqa: E402
+from repro.data.cohort import DatasetCache  # noqa: E402
+from repro.data.synthetic import make_synthetic_mnist, make_uniform_test_set  # noqa: E402
 from repro.federated.client import FederatedClient, LocalTrainingConfig  # noqa: E402
 from repro.federated.executor import LocalUpdateExecutor  # noqa: E402
 from repro.federated.server import FederatedServer  # noqa: E402
+from repro.nn.metrics import BatchedEvaluator, evaluate_model  # noqa: E402
 from repro.nn.models import MLP  # noqa: E402
 
 #: samples per virtual client (N_VC); a multiple of B = 8 so every
@@ -63,13 +77,18 @@ def model_factory():
     return MLP(64, 10, hidden=HIDDEN, seed=7)
 
 
+def _client_counts(generator) -> list[int]:
+    """Per-class sample counts of one N_VC-sample virtual client (FedVC split)."""
+    per_class = SAMPLES_PER_CLIENT // generator.num_classes
+    remainder = SAMPLES_PER_CLIENT - per_class * generator.num_classes
+    return [per_class + (1 if c < remainder else 0)
+            for c in range(generator.num_classes)]
+
+
 def make_cohort(n_clients: int) -> list[FederatedClient]:
     """K equal-size virtual clients with pre-materialised synthetic data."""
     generator = make_synthetic_mnist(seed=0)
-    per_class = SAMPLES_PER_CLIENT // generator.num_classes
-    remainder = SAMPLES_PER_CLIENT - per_class * generator.num_classes
-    counts = [per_class + (1 if c < remainder else 0)
-              for c in range(generator.num_classes)]
+    counts = _client_counts(generator)
     clients = []
     for k in range(n_clients):
         dataset = generator.generate(counts, rng=np.random.default_rng(10_000 + k))
@@ -126,6 +145,121 @@ def bench_mode(mode: str, n_clients: int, rounds: int, config) -> dict:
     }
 
 
+def make_lazy_cohort(n_clients: int, cache: DatasetCache) -> list[FederatedClient]:
+    """K lazy virtual clients whose data materialises through the shared cache."""
+    generator = make_synthetic_mnist(seed=0)
+    counts = _client_counts(generator)
+    clients = []
+    for k in range(n_clients):
+        def factory(k=k):
+            return generator.generate(counts, rng=np.random.default_rng(10_000 + k))
+
+        clients.append(FederatedClient(k, generator.num_classes,
+                                       dataset_factory=factory,
+                                       seed=20_000 + k, cache=cache))
+    return clients
+
+
+def bench_multi_round(n_clients: int, rounds: int, config) -> dict:
+    """Cold-vs-warm round split of the round-persistent vectorized runtime.
+
+    Round 1 (cold) materialises every client's data, builds the workspace
+    (flat pools + optimiser state + cohort buffers) and stacks the cohort;
+    rounds 2+ (warm) rebind into the same allocations and skip restacking —
+    the amortisation multi-round experiments actually see.
+    """
+    clients = make_lazy_cohort(n_clients, DatasetCache(n_clients))
+    server = FederatedServer(model_factory)
+    executor = LocalUpdateExecutor("vectorized")
+    times = []
+    for r in range(rounds):
+        start = perf_counter()
+        states = executor.run_round(clients, model_factory,
+                                    server.global_state(copy=False), config,
+                                    round_index=r)
+        server.aggregate(states)
+        times.append(perf_counter() - start)
+    assert executor.workspace_builds == 1, "workspace was rebuilt mid-run"
+    assert executor.workspace.buffer.allocations == 1
+
+    # warm rounds must still match the sequential multi-round reference
+    seq_clients = make_lazy_cohort(n_clients, DatasetCache(n_clients))
+    seq_server = FederatedServer(model_factory)
+    seq_executor = LocalUpdateExecutor("sequential")
+    for r in range(rounds):
+        seq_server.aggregate(seq_executor.run_round(
+            seq_clients, model_factory, seq_server.global_state(copy=False),
+            config, round_index=r))
+    worst = 0.0
+    vec_state = server.global_state()
+    for key, value in seq_server.global_state().items():
+        worst = max(worst, float(np.max(np.abs(value - vec_state[key]))))
+    if worst > EQUIVALENCE_TOL:
+        raise AssertionError(
+            f"multi-round vectorized diverges from sequential by {worst:.3e}"
+        )
+
+    cold = times[0]
+    warm = sum(times[1:]) / len(times[1:])
+    return {
+        "k": n_clients,
+        "rounds": rounds,
+        "cold_round_ms": round(cold * 1e3, 3),
+        "warm_round_ms": round(warm * 1e3, 3),
+        "warm_vs_cold_speedup": round(cold / warm, 2),
+        "warm_client_updates_per_s": round(n_clients / warm, 1),
+        "workspace_builds": executor.workspace_builds,
+        "buffer_allocations": executor.workspace.buffer.allocations,
+        "slots_restacked": executor.workspace.buffer.restacked,
+        "slots_reused": executor.workspace.buffer.reused,
+        "max_abs_diff_vs_sequential": worst,
+    }
+
+
+def bench_evaluation(samples_per_class: int, repeats: int) -> dict:
+    """Sequential 64-batch eval loop vs the forward-only batched evaluator."""
+    generator = make_synthetic_mnist(seed=0)
+    test_set = make_uniform_test_set(generator,
+                                     samples_per_class=samples_per_class, seed=1)
+    server = FederatedServer(model_factory, eval_backend="sequential")
+    evaluator = BatchedEvaluator(model_factory())
+    evaluator.load_state(server.global_state(copy=False))
+
+    sequential_report = evaluate_model(server.global_model, test_set, batch_size=64)
+    batched_report = evaluator.evaluate(test_set)
+    if batched_report["accuracy"] != sequential_report["accuracy"]:
+        raise AssertionError("batched evaluation changed the metrics")
+
+    # warm-up: prime the evaluator's cast cache, allocator pools and CPU
+    for _ in range(3):
+        evaluate_model(server.global_model, test_set, batch_size=64)
+        evaluator.evaluate(test_set)
+
+    def best_of(fn, batches: int = 5) -> float:
+        # timeit-style minimum over several timing batches: scheduler noise
+        # only ever adds time, so the minimum is the honest per-call cost
+        best = float("inf")
+        for _ in range(batches):
+            start = perf_counter()
+            for _ in range(repeats):
+                fn()
+            best = min(best, (perf_counter() - start) / repeats)
+        return best
+
+    sequential_s = best_of(
+        lambda: evaluate_model(server.global_model, test_set, batch_size=64))
+    batched_s = best_of(lambda: evaluator.evaluate(test_set))
+    return {
+        "n_test": len(test_set),
+        "sequential_batch_size": 64,
+        "repeats": repeats,
+        "sequential_eval_ms": round(sequential_s * 1e3, 3),
+        "batched_eval_ms": round(batched_s * 1e3, 3),
+        "batched_vs_sequential_speedup": round(sequential_s / batched_s, 2),
+        "accuracy_identical": True,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--ks", default="8,32,128",
@@ -141,7 +275,25 @@ def main(argv: list[str] | None = None) -> int:
                              "at --gate-k falls below this multiple of sequential")
     parser.add_argument("--gate-k", type=int, default=32,
                         help="cohort size checked by --min-speedup")
+    parser.add_argument("--multiround-rounds", type=int, default=5,
+                        help="rounds in the round-persistence (cold/warm) "
+                             "scenario at --gate-k (needs >= 2 for a warm "
+                             "measurement; 0 disables the section)")
+    parser.add_argument("--eval-samples-per-class", type=int, default=200,
+                        help="test-set size per class for the evaluation "
+                             "section; 0 disables the section")
+    parser.add_argument("--eval-repeats", type=int, default=25,
+                        help="timed repetitions of each evaluation driver")
+    parser.add_argument("--min-warm-speedup", type=float, default=None,
+                        help="fail (exit 1) when warm rounds are not this many "
+                             "times faster than the cold round")
+    parser.add_argument("--min-eval-speedup", type=float, default=None,
+                        help="fail (exit 1) when batched evaluation is not this "
+                             "many times faster than the sequential loop")
     args = parser.parse_args(argv)
+    if args.multiround_rounds == 1:
+        parser.error("--multiround-rounds needs >= 2 rounds to split cold "
+                     "from warm (or 0 to disable the section)")
 
     ks = [int(k) for k in args.ks.split(",")]
     modes = [m.strip() for m in args.modes.split(",")]
@@ -164,6 +316,24 @@ def main(argv: list[str] | None = None) -> int:
             }
         results.append(row)
 
+    multi_round = None
+    if args.multiround_rounds > 1:
+        print(f"benchmarking multi-round persistence K={args.gate_k} "
+              f"({args.multiround_rounds} rounds) ...", flush=True)
+        multi_round = bench_multi_round(args.gate_k, args.multiround_rounds, config)
+        print(f"  cold {multi_round['cold_round_ms']:.1f} ms, warm "
+              f"{multi_round['warm_round_ms']:.1f} ms "
+              f"({multi_round['warm_vs_cold_speedup']}x)")
+
+    evaluation = None
+    if args.eval_samples_per_class > 0:
+        print("benchmarking evaluation throughput ...", flush=True)
+        evaluation = bench_evaluation(args.eval_samples_per_class,
+                                      args.eval_repeats)
+        print(f"  sequential {evaluation['sequential_eval_ms']:.1f} ms, batched "
+              f"{evaluation['batched_eval_ms']:.1f} ms "
+              f"({evaluation['batched_vs_sequential_speedup']}x)")
+
     payload = {
         "benchmark": "simulation_throughput",
         "generated_by": "benchmarks/bench_sim.py",
@@ -180,6 +350,8 @@ def main(argv: list[str] | None = None) -> int:
             "equivalence_tol": EQUIVALENCE_TOL,
         },
         "results": results,
+        "multi_round": multi_round,
+        "evaluation": evaluation,
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -200,6 +372,30 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"OK: vectorized speedup {achieved}x >= {args.min_speedup}x "
               f"at K={args.gate_k}")
+
+    if args.min_warm_speedup is not None:
+        if multi_round is None:
+            print("FAIL: --min-warm-speedup needs the multi-round section",
+                  file=sys.stderr)
+            return 1
+        achieved = multi_round["warm_vs_cold_speedup"]
+        if achieved < args.min_warm_speedup:
+            print(f"FAIL: warm-round speedup {achieved}x < required "
+                  f"{args.min_warm_speedup}x", file=sys.stderr)
+            return 1
+        print(f"OK: warm-round speedup {achieved}x >= {args.min_warm_speedup}x")
+
+    if args.min_eval_speedup is not None:
+        if evaluation is None:
+            print("FAIL: --min-eval-speedup needs the evaluation section",
+                  file=sys.stderr)
+            return 1
+        achieved = evaluation["batched_vs_sequential_speedup"]
+        if achieved < args.min_eval_speedup:
+            print(f"FAIL: batched-eval speedup {achieved}x < required "
+                  f"{args.min_eval_speedup}x", file=sys.stderr)
+            return 1
+        print(f"OK: batched-eval speedup {achieved}x >= {args.min_eval_speedup}x")
     return 0
 
 

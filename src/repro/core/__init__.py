@@ -20,7 +20,13 @@ Public API
   :func:`communication_overhead`.
 """
 
-from .config import GROUP1_REFERENCE_SET, GROUP2_REFERENCE_SET, DubheConfig
+from .config import (
+    GROUP1_REFERENCE_SET,
+    GROUP2_REFERENCE_SET,
+    RUNTIME_DTYPES,
+    DubheConfig,
+    resolve_runtime_dtype,
+)
 from .multitime import MultiTimeResult, TentativeTry, multi_time_selection
 from .overhead import (
     CommunicationOverheadReport,
@@ -60,6 +66,7 @@ __all__ = [
     "MultiTimeResult",
     "ParameterSearchResult",
     "ProtocolStats",
+    "RUNTIME_DTYPES",
     "RandomSelector",
     "RegistrationResult",
     "RegistryCodebook",
@@ -78,5 +85,6 @@ __all__ = [
     "multi_time_selection",
     "participation_probabilities",
     "participation_probability",
+    "resolve_runtime_dtype",
     "search_thresholds",
 ]

@@ -11,15 +11,44 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+import numpy as np
+
 from ..crypto.paillier import DEFAULT_KEY_SIZE
 
-__all__ = ["DubheConfig", "GROUP1_REFERENCE_SET", "GROUP2_REFERENCE_SET"]
+__all__ = [
+    "DubheConfig",
+    "GROUP1_REFERENCE_SET",
+    "GROUP2_REFERENCE_SET",
+    "RUNTIME_DTYPES",
+    "resolve_runtime_dtype",
+]
 
 #: Reference set used by the paper for the 10-class experiments (MNIST/CIFAR10).
 GROUP1_REFERENCE_SET: tuple[int, ...] = (1, 2, 10)
 
 #: Reference set used by the paper for the 52-class FEMNIST experiment.
 GROUP2_REFERENCE_SET: tuple[int, ...] = (1, 52)
+
+#: Floating-point dtypes the cohort (vectorized) runtime accepts.  float64 is
+#: the default and reproduces the sequential back-end bit-for-bit; float32 is
+#: the opt-in fast path (half the memory traffic through the flat pools) with
+#: documented tolerance.
+RUNTIME_DTYPES: tuple[str, ...] = ("float64", "float32")
+
+
+def resolve_runtime_dtype(dtype: "str | np.dtype | type") -> np.dtype:
+    """Validate and normalise a runtime dtype knob to a :class:`numpy.dtype`.
+
+    Shared by every layer that threads the knob (``FederatedConfig`` →
+    ``LocalUpdateExecutor`` → ``BatchedModel``/optimisers) so they all accept
+    the same spellings and reject anything outside :data:`RUNTIME_DTYPES`.
+    """
+    resolved = np.dtype(dtype)
+    if resolved.name not in RUNTIME_DTYPES:
+        raise ValueError(
+            f"runtime dtype must be one of {RUNTIME_DTYPES}, got {resolved.name!r}"
+        )
+    return resolved
 
 
 @dataclass(frozen=True)

@@ -15,10 +15,11 @@ Public API
 * FedVC virtual clients — :func:`make_virtual_clients`.
 * cohort execution — :class:`DatasetCache` (bounded LRU pool of client
   datasets), :func:`stack_cohort` / :class:`Cohort` (dense ``(K, N_vc, …)``
-  stacking for the vectorized back-end).
+  stacking for the vectorized back-end), :class:`CohortBuffer`
+  (round-persistent stacking buffers with per-slot reuse).
 """
 
-from .cohort import Cohort, CohortShapeError, DatasetCache, stack_cohort
+from .cohort import Cohort, CohortBuffer, CohortShapeError, DatasetCache, stack_cohort
 from .dataloader import DataLoader
 from .dataset import ArrayDataset, Subset, train_test_split
 from .distributions import (
@@ -60,6 +61,7 @@ __all__ = [
     "ArrayDataset",
     "ClientPartition",
     "Cohort",
+    "CohortBuffer",
     "CohortShapeError",
     "DataLoader",
     "DatasetCache",

@@ -1,6 +1,6 @@
 """Cohort stacking and pooled client-dataset generation.
 
-Two pieces of plumbing for the vectorized (cohort) execution back-end:
+Three pieces of plumbing for the vectorized (cohort) execution back-end:
 
 * :class:`DatasetCache` — a bounded, thread-safe LRU pool of materialised
   client datasets keyed by client id.  Synthetic client data is generated
@@ -13,6 +13,11 @@ Two pieces of plumbing for the vectorized (cohort) execution back-end:
   samples (the paper's FedVC convention), which is what makes the cohort a
   dense rectangular tensor; ragged cohorts raise :class:`CohortShapeError`
   and callers fall back to per-client execution.
+* :class:`CohortBuffer` — the round-persistent variant of
+  :func:`stack_cohort`: it owns the dense ``(K, N_vc, …)`` buffers across
+  rounds and restacks only the slots whose selected client changed, so a
+  stable (or slowly-rotating) selection pays the K-dataset memcpy once
+  instead of every round.
 """
 
 from __future__ import annotations
@@ -20,13 +25,14 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Hashable, Sequence
+from typing import Callable, Hashable, Optional, Sequence
 
 import numpy as np
 
 from .dataset import ArrayDataset
 
-__all__ = ["Cohort", "CohortShapeError", "DatasetCache", "stack_cohort"]
+__all__ = ["Cohort", "CohortBuffer", "CohortShapeError", "DatasetCache",
+           "stack_cohort"]
 
 
 class CohortShapeError(ValueError):
@@ -124,3 +130,87 @@ def stack_cohort(datasets: Sequence[ArrayDataset]) -> Cohort:
             )
     num_classes = max(ds.num_classes for ds in datasets)
     return Cohort(x=np.stack(xs), y=np.stack(ys), num_classes=num_classes)
+
+
+class CohortBuffer:
+    """Round-persistent ``(K, N_vc, …)`` stacking buffers with slot reuse.
+
+    Where :func:`stack_cohort` allocates fresh dense arrays every round, a
+    :class:`CohortBuffer` keeps them alive between rounds and tracks which
+    dataset *object* currently occupies each client slot.  A slot whose
+    selected client hands back the very same materialised dataset (memoised
+    on the client, or resident in the shared :class:`DatasetCache`) skips its
+    copy entirely; only slots whose selection changed — or whose dataset was
+    evicted and regenerated — are restacked.  Slot datasets are pinned
+    (referenced) while resident, so object identity is a sound freshness key.
+
+    ``dtype`` is the feature-buffer precision: the cohort fast path casts
+    client features once, on the copy into the buffer, instead of per batch.
+    Labels always stay integral.
+    """
+
+    def __init__(self, num_clients: int, dtype: "str | np.dtype" = np.float64):
+        if num_clients < 1:
+            raise ValueError("num_clients must be positive")
+        self.num_clients = num_clients
+        self.dtype = np.dtype(dtype)
+        self.x: Optional[np.ndarray] = None
+        self.y: Optional[np.ndarray] = None
+        self._slot_keys: list[Optional[Hashable]] = [None] * num_clients
+        self._slot_pins: list[Optional[ArrayDataset]] = [None] * num_clients
+        #: how many times the dense buffers were (re)allocated
+        self.allocations = 0
+        #: cumulative slots copied / skipped across all stack() calls
+        self.restacked = 0
+        self.reused = 0
+
+    def stack(self, slots: Sequence[tuple[Hashable, ArrayDataset]],
+              ) -> tuple[np.ndarray, np.ndarray]:
+        """Bring the buffers up to date with *slots* and return ``(x, y)``.
+
+        *slots* holds one ``(key, dataset)`` pair per client position (see
+        :meth:`repro.federated.FederatedClient.cohort_slot`); the key must
+        change whenever the dataset contents may have.  Ragged cohorts raise
+        :class:`CohortShapeError` exactly like :func:`stack_cohort`.
+        """
+        if len(slots) != self.num_clients:
+            raise CohortShapeError(
+                f"expected {self.num_clients} cohort slots, got {len(slots)}"
+            )
+        datasets = [ds for _, ds in slots]
+        reference = np.asarray(datasets[0].x).shape
+        for k, ds in enumerate(datasets[1:], start=1):
+            if np.asarray(ds.x).shape != reference:
+                raise CohortShapeError(
+                    f"client {k} has data shape {np.asarray(ds.x).shape}, expected "
+                    f"{reference}; ragged cohorts cannot be vectorized"
+                )
+        shape = (self.num_clients,) + reference
+        if self.x is None or self.x.shape != shape:
+            self.x = np.empty(shape, dtype=self.dtype)
+            self.y = np.empty(shape[:2], dtype=np.asarray(datasets[0].y).dtype)
+            self._slot_keys = [None] * self.num_clients
+            self._slot_pins = [None] * self.num_clients
+            self.allocations += 1
+        for k, (key, ds) in enumerate(slots):
+            if self._slot_keys[k] == key and self._slot_pins[k] is ds:
+                self.reused += 1
+                continue
+            self.x[k] = ds.x
+            self.y[k] = ds.y
+            self._slot_keys[k] = key
+            self._slot_pins[k] = ds
+            self.restacked += 1
+        return self.x, self.y
+
+    @property
+    def samples_per_client(self) -> int:
+        if self.x is None:
+            raise RuntimeError("buffer not stacked yet")
+        return self.x.shape[1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "empty" if self.x is None else f"x{self.x.shape}"
+        return (f"CohortBuffer(clients={self.num_clients}, {state}, "
+                f"allocations={self.allocations}, restacked={self.restacked}, "
+                f"reused={self.reused})")

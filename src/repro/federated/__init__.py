@@ -10,6 +10,8 @@ Public API
   program; see :mod:`repro.nn.batched`).
 * :class:`StackedClientStates` — zero-copy per-client views into the
   cohort's stacked parameters, aggregated via one mean over the client axis.
+* :class:`CohortWorkspace` — the round-persistent pools/optimiser/data
+  buffers the vectorized back-end reuses across rounds.
 * :class:`FederatedSimulation`, :class:`FederatedConfig` — the round loop.
 * :class:`TrainingHistory`, :class:`RoundRecord` — per-round metrics.
 """
@@ -23,11 +25,14 @@ from .aggregation import (
 from .client import FederatedClient, LocalTrainingConfig
 from .executor import LocalUpdateExecutor
 from .history import RoundRecord, TrainingHistory
-from .server import FederatedServer
+from .server import EVAL_BACKENDS, FederatedServer
 from .simulation import ClientSelectorProtocol, FederatedConfig, FederatedSimulation
+from .workspace import CohortWorkspace
 
 __all__ = [
     "ClientSelectorProtocol",
+    "CohortWorkspace",
+    "EVAL_BACKENDS",
     "FederatedClient",
     "FederatedConfig",
     "FederatedServer",

@@ -31,6 +31,12 @@ class StackedClientStates(list):
     per-client state dicts (each entry a dict of views, no copies) while
     keeping the stacks around so aggregation can run as a single ``mean``
     over the client axis instead of re-stacking K dicts.
+
+    Lifetime: with the round-persistent workspace these views alias pools
+    the *next* vectorized round of the same executor reuses and overwrites.
+    Aggregate (or deep-copy the arrays) before running another round — the
+    simulation's round loop does exactly that; only callers that retain
+    per-round states across rounds need the copy.
     """
 
     def __init__(self, per_client: Sequence[StateDict], stacked: StateDict):

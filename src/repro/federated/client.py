@@ -107,6 +107,21 @@ class FederatedClient:
     def num_samples(self) -> int:
         return len(self.dataset)
 
+    def cohort_slot(self) -> tuple[tuple[int, int], ArrayDataset]:
+        """A ``(key, dataset)`` pair for round-persistent cohort stacking.
+
+        The key is stable exactly as long as the materialised dataset object
+        is — memoised on the client, or resident in the shared
+        :class:`~repro.data.cohort.DatasetCache` — so a
+        :class:`~repro.data.cohort.CohortBuffer` slot holding it can skip the
+        restack copy on the next round.  Cache eviction (or an uncached lazy
+        factory) yields a fresh object and therefore a fresh key, forcing the
+        copy; data is regenerated deterministically, so either way the slot
+        contents are correct.
+        """
+        dataset = self.dataset
+        return (self.client_id, id(dataset)), dataset
+
     def label_distribution(self) -> np.ndarray:
         """The plaintext label distribution ``p_l`` of this client's data."""
         return label_distribution(self.dataset.y, self.num_classes)

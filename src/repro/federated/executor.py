@@ -23,6 +23,23 @@ batched kernels mirror the sequential arithmetic slice-for-slice.  When a
 cohort cannot be vectorized (unregistered model type, ragged client dataset
 sizes) the vectorized mode transparently falls back to the sequential loop
 and records the reason in :attr:`LocalUpdateExecutor.last_fallback_reason`.
+
+The vectorized back-end is *round-persistent*: the first vectorized round
+builds a :class:`~repro.federated.workspace.CohortWorkspace` (flat parameter
+pools, optimiser state, stacked data buffers) and every shape-compatible
+later round reuses it — rebinding the fresh template into the existing
+pools, resetting (not reallocating) the optimiser and restacking only the
+data slots whose selected client changed.  ``dtype="float32"`` opts the
+cohort into single-precision pools (see
+:data:`repro.core.config.RUNTIME_DTYPES`); the float64 default stays
+bit-identical to sequential execution, and any fallback always runs the
+float64 sequential reference.
+
+Note on result lifetime: vectorized rounds return zero-copy views into the
+workspace pools (:class:`~repro.federated.aggregation.StackedClientStates`).
+They are valid until the same executor runs its next vectorized round, which
+reuses — and overwrites — those pools; aggregate (or copy) before re-running,
+as the round loop naturally does.
 """
 
 from __future__ import annotations
@@ -32,17 +49,13 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from ..data.cohort import CohortShapeError, stack_cohort
-from ..nn.batched import (
-    BatchedAdam,
-    BatchedModel,
-    BatchedSGD,
-    UnvectorizableModelError,
-    batched_cross_entropy,
-)
+from ..core.config import resolve_runtime_dtype
+from ..data.cohort import CohortShapeError
+from ..nn.batched import UnvectorizableModelError, batched_cross_entropy
 from ..nn.module import Module
 from .aggregation import StackedClientStates
 from .client import FederatedClient, LocalTrainingConfig
+from .workspace import CohortWorkspace
 
 __all__ = ["LocalUpdateExecutor"]
 
@@ -61,15 +74,28 @@ def _run_local_update(client: FederatedClient, model: Module, global_state: Stat
 class LocalUpdateExecutor:
     """Run the selected clients' local updates with the chosen back-end."""
 
-    def __init__(self, mode: str = "sequential", max_workers: Optional[int] = None):
+    def __init__(self, mode: str = "sequential", max_workers: Optional[int] = None,
+                 dtype: "str | np.dtype" = "float64"):
         if mode not in EXECUTOR_MODES:
             raise ValueError(f"mode must be one of {EXECUTOR_MODES}")
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be positive when given")
+        self.dtype = resolve_runtime_dtype(dtype)
+        if self.dtype != np.dtype(np.float64) and mode != "vectorized":
+            raise ValueError(
+                "the float32 fast path is a cohort feature; it requires "
+                f"mode='vectorized', got mode={mode!r}"
+            )
         self.mode = mode
         self.max_workers = max_workers
         #: why the most recent vectorized round fell back to sequential (or None)
         self.last_fallback_reason: Optional[str] = None
+        #: the round-persistent cohort state, built lazily on the first
+        #: vectorized round and reused while rounds stay shape-compatible
+        self.workspace: Optional[CohortWorkspace] = None
+        #: how many times a workspace had to be (re)built — 1 after any number
+        #: of shape-compatible vectorized rounds
+        self.workspace_builds = 0
 
     def run_round(self, clients: Sequence[FederatedClient],
                   model_factory: Callable[[], Module],
@@ -120,16 +146,25 @@ class LocalUpdateExecutor:
         Replays the exact sequential schedule — per-client epoch permutations
         from the same seeded RNG stream as :class:`repro.data.DataLoader`,
         same batch boundaries, same optimiser arithmetic — with the client
-        loop folded into a leading tensor axis.
+        loop folded into a leading tensor axis.  All round-scoped state lives
+        in the persistent :class:`CohortWorkspace`; a shape-compatible round
+        allocates no new pools.
         """
-        batched = BatchedModel(model_factory(), len(clients))
-        cohort = stack_cohort([client.dataset for client in clients])
-        n = cohort.samples_per_client
+        template = model_factory()
+        workspace = self.workspace
+        if workspace is None or not workspace.adopt(template, len(clients)):
+            # incompatible (or first) round: build fresh pools; may raise
+            # UnvectorizableModelError straight into the sequential fallback
+            workspace = CohortWorkspace(template, len(clients), dtype=self.dtype)
+            self.workspace = workspace
+            self.workspace_builds += 1
+        # a ragged cohort raises CohortShapeError here; the workspace stays
+        # intact (already-copied slots remain truthful) for the next dense round
+        x, y = workspace.stack(clients)
+        n = x.shape[1]
+        batched = workspace.model
         batched.load_state_dict_broadcast(global_state)
-        if config.optimizer == "adam":
-            optimizer = BatchedAdam(batched, lr=config.learning_rate)
-        else:
-            optimizer = BatchedSGD(batched, lr=config.learning_rate)
+        optimizer = workspace.optimizer_for(config)
         # one RNG per client, seeded exactly like the sequential DataLoader
         rngs = [
             np.random.default_rng(
@@ -137,7 +172,7 @@ class LocalUpdateExecutor:
             )
             for client in clients
         ]
-        rows = np.arange(len(clients))[:, None]
+        rows = workspace.client_rows
         batched.train()
         for _ in range(config.local_epochs):
             orders = np.stack([rng.permutation(n) for rng in rngs]) if n else None
@@ -146,8 +181,8 @@ class LocalUpdateExecutor:
                         and batch_index >= config.max_batches_per_epoch):
                     break
                 idx = orders[:, start : start + config.batch_size]
-                xb = cohort.x[rows, idx]
-                yb = cohort.y[rows, idx]
+                xb = x[rows, idx]
+                yb = y[rows, idx]
                 logits = batched.forward(xb)
                 _, grad = batched_cross_entropy(logits, yb)
                 # no zero_grad: batched layer backwards assign (not accumulate)

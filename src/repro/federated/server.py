@@ -10,30 +10,48 @@ is also what makes Dubhe "pluggable".
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from ..data.dataset import ArrayDataset
-from ..nn.metrics import evaluate_model
+from ..nn.batched import UnvectorizableModelError
+from ..nn.metrics import BatchedEvaluator, evaluate_model
 from ..nn.module import Module
 from .aggregation import average_states, weighted_average_states
 
-__all__ = ["FederatedServer"]
+__all__ = ["EVAL_BACKENDS", "FederatedServer"]
 
 StateDict = dict[str, np.ndarray]
 
+EVAL_BACKENDS = ("batched", "sequential")
+
 
 class FederatedServer:
-    """Holds the global model and performs FedAvg/FedVC aggregation."""
+    """Holds the global model and performs FedAvg/FedVC aggregation.
 
-    def __init__(self, model_factory: Callable[[], Module], aggregation: str = "uniform"):
+    ``eval_backend`` selects how :meth:`evaluate` runs the test pass:
+    ``"batched"`` (default) pushes the test set through the forward-only
+    cohort kernels (:class:`repro.nn.metrics.BatchedEvaluator`, built once
+    and reused every round), falling back to the sequential loop for models
+    without a registered cohort chain; ``"sequential"`` always uses the
+    per-batch Python loop.  Both produce identical metrics.
+    """
+
+    def __init__(self, model_factory: Callable[[], Module], aggregation: str = "uniform",
+                 eval_backend: str = "batched"):
         if aggregation not in ("uniform", "weighted"):
             raise ValueError("aggregation must be 'uniform' or 'weighted'")
+        if eval_backend not in EVAL_BACKENDS:
+            raise ValueError(f"eval_backend must be one of {EVAL_BACKENDS}")
         self.model_factory = model_factory
         self.global_model = model_factory()
         self.aggregation = aggregation
+        self.eval_backend = eval_backend
         self.rounds_completed = 0
+        self._evaluator: Optional[BatchedEvaluator] = None
+        #: why batched evaluation is unavailable for this model (or None)
+        self.eval_fallback_reason: Optional[str] = None
 
     # -- weights -----------------------------------------------------------------
 
@@ -70,8 +88,28 @@ class FederatedServer:
     # -- evaluation ----------------------------------------------------------------
 
     def evaluate(self, test_set: ArrayDataset, batch_size: int = 64) -> dict:
-        """Evaluate the current global model on a (uniform) test set."""
+        """Evaluate the current global model on a (uniform) test set.
+
+        With the ``"batched"`` backend the round-persistent evaluator reuses
+        its one-client parameter stack across rounds and *batch_size* is
+        irrelevant (chunking is internal); the metrics are identical to the
+        sequential loop's either way.
+        """
+        if self.eval_backend == "batched":
+            evaluator = self._ensure_evaluator()
+            if evaluator is not None:
+                evaluator.load_state(self.global_state(copy=False))
+                return evaluator.evaluate(test_set)
         return evaluate_model(self.global_model, test_set, batch_size=batch_size)
+
+    def _ensure_evaluator(self) -> Optional[BatchedEvaluator]:
+        """The cached batched evaluator, or None when the model rules it out."""
+        if self._evaluator is None and self.eval_fallback_reason is None:
+            try:
+                self._evaluator = BatchedEvaluator(self.model_factory())
+            except UnvectorizableModelError as exc:
+                self.eval_fallback_reason = str(exc)
+        return self._evaluator
 
     def new_client_model(self) -> Module:
         """A fresh model instance for a client (weights loaded by the executor)."""

@@ -20,6 +20,7 @@ from typing import Callable, Optional, Protocol, Sequence
 
 import numpy as np
 
+from ..core.config import resolve_runtime_dtype
 from ..data.cohort import DatasetCache
 from ..data.dataset import ArrayDataset
 from ..data.distributions import emd, uniform_distribution
@@ -29,7 +30,7 @@ from ..nn.module import Module
 from .client import FederatedClient, LocalTrainingConfig
 from .executor import LocalUpdateExecutor
 from .history import RoundRecord, TrainingHistory
-from .server import FederatedServer
+from .server import EVAL_BACKENDS, FederatedServer
 
 __all__ = ["ClientSelectorProtocol", "FederatedConfig", "FederatedSimulation"]
 
@@ -50,7 +51,13 @@ class FederatedConfig:
     :class:`repro.federated.LocalUpdateExecutor`).  ``dataset_cache_size``
     bounds the shared LRU pool of materialised client datasets; ``None``
     disables pooling (each client pins its own data forever, the pre-cache
-    behaviour).
+    behaviour).  ``dtype`` is the cohort-runtime precision knob
+    (:data:`repro.core.config.RUNTIME_DTYPES`): ``"float64"`` (default)
+    reproduces sequential execution bit-for-bit, ``"float32"`` is the
+    vectorized-only fast path with single-precision tolerance.
+    ``eval_backend`` picks the server's test pass
+    (``"batched"``/``"sequential"``, identical metrics; see
+    :class:`repro.federated.FederatedServer`).
     """
 
     rounds: int = 20
@@ -58,6 +65,8 @@ class FederatedConfig:
     local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
     executor_mode: str = "sequential"
     dataset_cache_size: Optional[int] = 1024
+    dtype: str = "float64"
+    eval_backend: str = "batched"
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -67,6 +76,14 @@ class FederatedConfig:
             raise ValueError("eval_every must be positive")
         if self.dataset_cache_size is not None and self.dataset_cache_size < 1:
             raise ValueError("dataset_cache_size must be positive when given")
+        resolved = resolve_runtime_dtype(self.dtype)
+        if resolved != np.dtype("float64") and self.executor_mode != "vectorized":
+            raise ValueError(
+                "dtype='float32' is the cohort fast path and requires "
+                "executor_mode='vectorized'"
+            )
+        if self.eval_backend not in EVAL_BACKENDS:
+            raise ValueError(f"eval_backend must be one of {EVAL_BACKENDS}")
 
 
 class FederatedSimulation:
@@ -82,8 +99,10 @@ class FederatedSimulation:
         self.selector = selector
         self.test_set = test_set
         self.config = config or FederatedConfig()
-        self.server = FederatedServer(model_factory)
-        self.executor = LocalUpdateExecutor(self.config.executor_mode)
+        self.server = FederatedServer(model_factory,
+                                      eval_backend=self.config.eval_backend)
+        self.executor = LocalUpdateExecutor(self.config.executor_mode,
+                                            dtype=self.config.dtype)
         self.dataset_cache = (
             None if self.config.dataset_cache_size is None
             else DatasetCache(self.config.dataset_cache_size)

@@ -11,7 +11,8 @@ Public API
 * optimisers — :class:`SGD`, :class:`Adam`.
 * models — :class:`MLP`, :class:`MnistCNN`, :class:`CifarCNN`,
   :func:`build_model`.
-* metrics — :func:`accuracy`, :func:`evaluate_model`.
+* metrics — :func:`accuracy`, :func:`evaluate_model`,
+  :class:`BatchedEvaluator` (forward-only batched test pass).
 * cohort execution — :class:`BatchedModel`, :class:`BatchedParameter`,
   :func:`batched_cross_entropy` (train K clients as one batched tensor
   program; see :mod:`repro.nn.batched`).
@@ -29,7 +30,13 @@ from .conv import AvgPool2d, Conv2d, MaxPool2d, col2im, im2col
 from .init import kaiming_uniform, xavier_uniform, zeros
 from .layers import Dropout, Flatten, Linear, ReLU, Sequential
 from .loss import CrossEntropyLoss, log_softmax, softmax
-from .metrics import accuracy, confusion_matrix, evaluate_model, per_class_accuracy
+from .metrics import (
+    BatchedEvaluator,
+    accuracy,
+    confusion_matrix,
+    evaluate_model,
+    per_class_accuracy,
+)
 from .models import MLP, CifarCNN, MnistCNN, build_model
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer
@@ -37,6 +44,7 @@ from .optim import SGD, Adam, Optimizer
 __all__ = [
     "Adam",
     "AvgPool2d",
+    "BatchedEvaluator",
     "BatchedModel",
     "BatchedParameter",
     "CifarCNN",

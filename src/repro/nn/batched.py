@@ -135,6 +135,25 @@ class BatchedLayer:
         """``(template parameter, batched parameter)`` pairs of this layer."""
         return []
 
+    def set_training(self, training: bool) -> None:
+        """Switch train/eval mode (wrappers propagate to wrapped layers)."""
+        self.training = training
+
+    def rebind(self, layer: Module) -> bool:
+        """Adopt a fresh template *layer* for a new round without reallocation.
+
+        Round-persistent workspaces reuse one batched program across rounds;
+        each round the executor builds a fresh template model (exactly what
+        every sequential client receives) and rebinds it into the existing
+        stacks.  A layer returns ``True`` when *layer* is structurally
+        identical to the one it was built from — after adopting whatever
+        per-round state matters (e.g. the dropout RNG, which must restart
+        from the factory-fresh stream every round to mirror sequential
+        clients).  ``False`` forces the caller to rebuild the whole batched
+        model; this conservative default covers custom registered layers.
+        """
+        return False
+
 
 class BatchedLinear(BatchedLayer):
     """Per-client ``y_k = x_k W_k^T + b_k`` as one batched matmul."""
@@ -153,6 +172,16 @@ class BatchedLinear(BatchedLayer):
             pairs.append((self._template.bias, self.bias))
         return pairs
 
+    def rebind(self, layer: Module) -> bool:
+        if (not isinstance(layer, Linear)
+                or layer.in_features != self.in_features
+                or layer.out_features != self.out_features
+                or (layer.bias is None) != (self.bias is None)):
+            return False
+        self._template = layer
+        self._input = None
+        return True
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 3 or x.shape[2] != self.in_features:
             raise ValueError(
@@ -162,7 +191,7 @@ class BatchedLinear(BatchedLayer):
         self._input = x
         out = np.matmul(x, np.swapaxes(self.weight.value, 1, 2))
         if self.bias is not None:
-            out = out + self.bias.value[:, None, :]
+            out += self.bias.value[:, None, :]  # in place: matmul result is fresh
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -197,6 +226,19 @@ class BatchedConv2d(BatchedLayer):
         if self.bias is not None:
             pairs.append((self._template.bias, self.bias))
         return pairs
+
+    def rebind(self, layer: Module) -> bool:
+        if (not isinstance(layer, Conv2d)
+                or layer.in_channels != self.in_channels
+                or layer.out_channels != self.out_channels
+                or layer.kernel_size != self.kernel_size
+                or layer.stride != self.stride
+                or layer.padding != self.padding
+                or (layer.bias is None) != (self.bias is None)):
+            return False
+        self._template = layer
+        self._cache = None
+        return True
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 5 or x.shape[2] != self.in_channels:
@@ -257,12 +299,26 @@ class BatchedDropout(BatchedLayer):
         self.rng = layer.rng  # the template model is factory-fresh, like each client's
         self._mask: Optional[np.ndarray] = None
 
+    def rebind(self, layer: Module) -> bool:
+        # adopting the fresh template's RNG restarts the mask stream exactly
+        # like the factory-fresh models every sequential client trains
+        if not isinstance(layer, Dropout) or (
+                layer.p > 0 and getattr(layer, "seed", None) is None):
+            return False
+        self.p = layer.p
+        self.rng = layer.rng
+        self._mask = None
+        return True
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.p == 0:
             self._mask = None
             return x
         keep = 1.0 - self.p
-        self._mask = (self.rng.random(x.shape[1:]) < keep) / keep
+        mask = (self.rng.random(x.shape[1:]) < keep) / keep
+        # masks are drawn in float64 (matching the sequential layer's RNG
+        # arithmetic exactly) and only cast when the cohort runs float32
+        self._mask = mask if mask.dtype == x.dtype else mask.astype(x.dtype)
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -282,6 +338,17 @@ class FoldedLayer(BatchedLayer):
     def __init__(self, layer: Module, num_clients: int):
         self.inner = layer
 
+    def rebind(self, layer: Module) -> bool:
+        if type(layer) is not type(self.inner):
+            return False
+        layer.training = self.inner.training
+        self.inner = layer
+        return True
+
+    def set_training(self, training: bool) -> None:
+        self.training = training
+        self.inner.training = training
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         k, b = x.shape[:2]
         out = self.inner.forward(x.reshape((k * b,) + x.shape[2:]))
@@ -299,8 +366,19 @@ class BatchedSequential(BatchedLayer):
     def __init__(self, layer: Sequential, num_clients: int):
         self.layers = [vectorize_layer(child, num_clients) for child in layer.layers]
 
+    def rebind(self, layer: Module) -> bool:
+        if not isinstance(layer, Sequential) or len(layer.layers) != len(self.layers):
+            return False
+        return all(child.rebind(sub)
+                   for child, sub in zip(self.layers, layer.layers))
+
     def param_pairs(self) -> list[tuple[Parameter, BatchedParameter]]:
         return [pair for child in self.layers for pair in child.param_pairs()]
+
+    def set_training(self, training: bool) -> None:
+        self.training = training
+        for child in self.layers:
+            child.set_training(training)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         for layer in self.layers:
@@ -398,11 +476,21 @@ class BatchedModel:
     The *template* must be a fresh model (e.g. straight from the server's
     model factory): its layer structure defines the program and its dropout
     RNG state stands in for every client's.
+
+    ``dtype`` selects the precision of the flat value/grad pools (and
+    therefore of every batched kernel).  ``float64`` — the default — keeps
+    the bit-identical contract above; ``float32`` is the opt-in fast path:
+    half the memory traffic through the pools, with per-client results
+    matching the float64 reference only to single-precision tolerance.
     """
 
-    def __init__(self, template: Module, num_clients: int):
+    def __init__(self, template: Module, num_clients: int,
+                 dtype: "str | np.dtype" = np.float64):
         if num_clients < 1:
             raise ValueError("num_clients must be positive")
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"dtype must be float64 or float32, got {self.dtype}")
         self.template = template
         self.num_clients = num_clients
         chain = _resolve_chain(template)
@@ -420,6 +508,38 @@ class BatchedModel:
         self.training = True
         self._repack_flat()
 
+    def rebind(self, template: Module) -> bool:
+        """Adopt a fresh *template* for a new round, reusing every pool.
+
+        The round-persistent workspace calls this instead of rebuilding the
+        batched program: when *template* (a factory-fresh model, exactly what
+        each sequential client would train) is structurally identical —
+        same chain, same layer geometry, same parameter names and shapes —
+        the existing flat pools and layer stacks are kept and only per-round
+        template state (dropout RNG streams, template references) is
+        adopted.  Returns ``False`` when the structures differ, in which
+        case the caller must construct a new :class:`BatchedModel`.
+        Parameter *values* are not touched; the caller loads the round's
+        global state with :meth:`load_state_dict_broadcast` as usual.
+        """
+        try:
+            chain = _resolve_chain(template)
+        except UnvectorizableModelError:
+            return False
+        if len(chain) != len(self.layers):
+            return False
+        if not all(batched.rebind(layer)
+                   for batched, layer in zip(self.layers, chain)):
+            return False
+        named = list(template.named_parameters())
+        if len(named) != len(self._named):
+            return False
+        for (name, param), (own_name, bp) in zip(named, self._named):
+            if name != own_name or param.value.shape != bp.value.shape[1:]:
+                return False
+        self.template = template
+        return True
+
     def _repack_flat(self) -> None:
         """Repack every parameter stack as a view into one flat 1-D pool.
 
@@ -432,8 +552,8 @@ class BatchedModel:
         grouped, so this changes no numerics.
         """
         total = sum(bp.value.size for _, bp in self._named)
-        self.flat_values = np.zeros(total)
-        self.flat_grads = np.zeros(total)
+        self.flat_values = np.zeros(total, dtype=self.dtype)
+        self.flat_grads = np.zeros(total, dtype=self.dtype)
         offset = 0
         repacked: set[int] = set()
         for _, bp in self._named:
@@ -468,13 +588,13 @@ class BatchedModel:
     def train(self) -> "BatchedModel":
         self.training = True
         for layer in self.layers:
-            layer.training = True
+            layer.set_training(True)
         return self
 
     def eval(self) -> "BatchedModel":
         self.training = False
         for layer in self.layers:
-            layer.training = False
+            layer.set_training(False)
         return self
 
     # -- parameters -----------------------------------------------------------
@@ -499,7 +619,7 @@ class BatchedModel:
             raise KeyError(f"state_dict mismatch: missing={sorted(missing)}, "
                            f"unexpected={sorted(unexpected)}")
         for name, bp in self._named:
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=self.dtype)
             if value.shape != bp.value.shape[1:]:
                 raise ValueError(
                     f"shape mismatch for {name}: {value.shape} vs {bp.value.shape[1:]}"
@@ -567,10 +687,21 @@ class BatchedSGD:
         self._values = model.flat_values
         self._grads = model.flat_grads
         self._velocity = np.zeros_like(self._values) if momentum else None
-        self._scratch = np.empty(min(self._values.size, _OPT_BLOCK))
+        self._scratch = np.empty(min(self._values.size, _OPT_BLOCK),
+                                 dtype=self._values.dtype)
 
     def zero_grad(self) -> None:
         self._grads.fill(0.0)
+
+    def reset(self) -> None:
+        """Forget all optimiser state (fresh-optimiser semantics, no realloc).
+
+        Round-persistent workspaces keep one optimiser alive across rounds;
+        calling this at the top of a round makes it indistinguishable from a
+        newly constructed one — which is what every sequential client gets.
+        """
+        if self._velocity is not None:
+            self._velocity.fill(0.0)
 
     def step(self) -> None:
         total = self._values.size
@@ -628,12 +759,23 @@ class BatchedAdam:
         self._m = np.zeros_like(self._values)
         self._v = np.zeros_like(self._values)
         scratch = min(self._values.size, _OPT_BLOCK)
-        self._s1 = np.empty(scratch)
-        self._s2 = np.empty(scratch)
+        self._s1 = np.empty(scratch, dtype=self._values.dtype)
+        self._s2 = np.empty(scratch, dtype=self._values.dtype)
         self._t = 0
 
     def zero_grad(self) -> None:
         self._grads.fill(0.0)
+
+    def reset(self) -> None:
+        """Forget all optimiser state (fresh-optimiser semantics, no realloc).
+
+        Zeroes the first/second-moment pools and the step counter in place so
+        a round-persistent optimiser behaves exactly like the fresh ``Adam``
+        every sequential client constructs at the top of its local update.
+        """
+        self._m.fill(0.0)
+        self._v.fill(0.0)
+        self._t = 0
 
     def step(self) -> None:
         self._t += 1
@@ -681,7 +823,9 @@ def batched_cross_entropy(logits: np.ndarray, targets: np.ndarray,
     reproduces ``CrossEntropyLoss()(logits[k], targets[k])`` exactly (same
     log-sum-exp arithmetic, same mean normalisation).
     """
-    logits = np.asarray(logits, dtype=np.float64)
+    logits = np.asarray(logits)
+    if logits.dtype != np.float32:  # float32 cohorts keep their precision
+        logits = logits.astype(np.float64, copy=False)
     targets = np.asarray(targets, dtype=int)
     if logits.ndim != 3:
         raise ValueError(f"logits must be 3-D (K, B, C), got shape {logits.shape}")

@@ -40,7 +40,7 @@ class Linear(Module):
         self._input = x
         out = x @ self.weight.value.T
         if self.bias is not None:
-            out = out + self.bias.value
+            out += self.bias.value  # in place: the matmul result is fresh
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -60,6 +60,13 @@ class ReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training:
+            # inference needs no backward mask, and np.maximum matches the
+            # masked select for all finite inputs; NaN activations (a model
+            # diverged in training) propagate here instead of flushing to 0,
+            # either way yielding meaningless predictions
+            self._mask = None
+            return np.maximum(x, 0.0)
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
 

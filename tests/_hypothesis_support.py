@@ -1,0 +1,21 @@
+"""Scalable hypothesis example counts for the nightly deep-property run.
+
+Every ``@settings(max_examples=...)`` in the suite wraps its count in
+:func:`scaled_max_examples`, so one environment variable raises the whole
+property-testing surface: the nightly workflow sets
+``HYPOTHESIS_EXAMPLES_MULTIPLIER=10`` to hunt for rare counterexamples,
+while interactive/CI runs keep the fast per-test defaults (multiplier 1).
+"""
+
+import os
+
+__all__ = ["scaled_max_examples"]
+
+
+def scaled_max_examples(base: int) -> int:
+    """*base* examples scaled by ``HYPOTHESIS_EXAMPLES_MULTIPLIER`` (>= 1)."""
+    try:
+        multiplier = float(os.environ.get("HYPOTHESIS_EXAMPLES_MULTIPLIER", "1"))
+    except ValueError:
+        multiplier = 1.0
+    return max(1, int(round(base * multiplier)))

@@ -1,0 +1,11 @@
+"""Pytest configuration shared by the whole tier-1 suite.
+
+Makes ``tests/_hypothesis_support.py`` importable from every test file
+(the tests directory is intentionally not a package), mirroring what
+``benchmarks/conftest.py`` does for the benchmark helpers.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from _hypothesis_support import scaled_max_examples
 from hypothesis.extra import numpy as hnp
 
 from repro.core.config import GROUP1_REFERENCE_SET, GROUP2_REFERENCE_SET, DubheConfig
@@ -210,7 +212,7 @@ class TestAlgorithm1:
             codebook.describe(np.zeros(3))
 
 
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=scaled_max_examples(150), deadline=None)
 @given(
     counts=hnp.arrays(dtype=np.int64, shape=10,
                       elements=st.integers(min_value=0, max_value=500)),

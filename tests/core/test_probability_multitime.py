@@ -5,6 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from _hypothesis_support import scaled_max_examples
+
 from repro.core.config import DubheConfig
 from repro.core.multitime import multi_time_selection
 from repro.core.probability import (
@@ -215,7 +217,7 @@ class TestMultiTimeSelection:
         assert large <= small + 1e-9
 
 
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=scaled_max_examples(100), deadline=None)
 @given(
     counts=st.lists(st.integers(min_value=1, max_value=200), min_size=2, max_size=30),
     k=st.integers(min_value=1, max_value=20),

@@ -6,6 +6,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from _hypothesis_support import scaled_max_examples
+
 from repro.crypto.encoding import DEFAULT_PRECISION, EncodedNumber, FixedPointEncoder
 from repro.crypto.paillier import generate_keypair
 
@@ -89,7 +91,7 @@ class TestModularMapping:
             enc.to_modular(huge, pk)
 
 
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=scaled_max_examples(200), deadline=None)
 @given(x=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False))
 def test_property_encode_decode_roundtrip(x):
     """encode → decode recovers the value to within the fixed-point resolution."""
@@ -97,7 +99,7 @@ def test_property_encode_decode_roundtrip(x):
     assert enc.decode(enc.encode(x)) == pytest.approx(x, abs=2.0 / enc.scale)
 
 
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=scaled_max_examples(100), deadline=None)
 @given(
     a=st.floats(min_value=0, max_value=1, allow_nan=False),
     b=st.floats(min_value=0, max_value=1, allow_nan=False),

@@ -6,6 +6,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from _hypothesis_support import scaled_max_examples
+
 from repro.crypto.encrypted_number import EncryptedNumber, decrypt_number, encrypt_number
 from repro.crypto.paillier import generate_keypair
 
@@ -88,7 +90,7 @@ class TestObfuscation:
         assert o.decrypt(sk) == pytest.approx(0.7, abs=1e-9)
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=scaled_max_examples(20), deadline=None)
 @given(
     a=st.floats(min_value=-100, max_value=100, allow_nan=False),
     b=st.floats(min_value=-100, max_value=100, allow_nan=False),

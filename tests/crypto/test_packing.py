@@ -7,6 +7,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from _hypothesis_support import scaled_max_examples
+
 from repro.crypto.packing import DEFAULT_MAX_WEIGHT, PackedEncryptedVector, PackingScheme
 from repro.crypto.paillier import NoisePool, generate_keypair
 from repro.crypto.vector import EncryptedVector
@@ -255,7 +257,7 @@ class TestNoise:
             PackedEncryptedVector.encrypt(pk, [2.5], max_weight=4, max_abs_value=1.0)
 
 
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=scaled_max_examples(15), deadline=None)
 @given(
     values=st.lists(
         st.floats(min_value=-1, max_value=1, allow_nan=False), min_size=1, max_size=12

@@ -6,6 +6,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from _hypothesis_support import scaled_max_examples
+
 from repro.crypto.paillier import (
     PaillierPrivateKey,
     PaillierPublicKey,
@@ -123,7 +125,7 @@ class TestHomomorphism:
         assert sk.raw_decrypt(c) == 1
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=scaled_max_examples(25), deadline=None)
 @given(a=st.integers(min_value=0, max_value=10**12),
        b=st.integers(min_value=0, max_value=10**12))
 def test_property_additive_homomorphism(a, b):
@@ -134,7 +136,7 @@ def test_property_additive_homomorphism(a, b):
     assert sk.raw_decrypt(c) == a + b
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=scaled_max_examples(25), deadline=None)
 @given(a=st.integers(min_value=0, max_value=10**9),
        k=st.integers(min_value=0, max_value=10**4))
 def test_property_scalar_homomorphism(a, k):

@@ -7,6 +7,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from _hypothesis_support import scaled_max_examples
+
 from repro.crypto.paillier import generate_keypair
 from repro.crypto.vector import EncryptedVector, plaintext_vector_bytes
 
@@ -106,7 +108,7 @@ class TestSizesAndSerialization:
         assert plaintext_vector_bytes([0.1] * 56) > 0
 
 
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=scaled_max_examples(15), deadline=None)
 @given(
     values=st.lists(
         st.floats(min_value=0, max_value=1, allow_nan=False), min_size=1, max_size=8

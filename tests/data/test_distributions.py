@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from _hypothesis_support import scaled_max_examples
 from hypothesis.extra import numpy as hnp
 
 from repro.data.distributions import (
@@ -153,7 +155,7 @@ class TestPopulationAndAverageEMD:
             average_emd([])
 
 
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=scaled_max_examples(100), deadline=None)
 @given(
     counts=hnp.arrays(
         dtype=np.int64,
@@ -169,7 +171,7 @@ def test_property_emd_bounds(counts):
     assert 0.0 <= value <= 2.0 + 1e-9
 
 
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=scaled_max_examples(100), deadline=None)
 @given(
     counts=hnp.arrays(
         dtype=np.int64,
@@ -183,7 +185,7 @@ def test_property_normalize_counts_sums_to_one(counts):
     assert np.all(p >= 0)
 
 
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=scaled_max_examples(50), deadline=None)
 @given(
     a=hnp.arrays(dtype=np.float64, shape=6,
                  elements=st.floats(min_value=0.01, max_value=1.0)),

@@ -5,6 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from _hypothesis_support import scaled_max_examples
+
 from repro.data.distributions import uniform_distribution
 from repro.data.partition import (
     ClientPartition,
@@ -155,7 +157,7 @@ class TestShardPartitioner:
             ShardPartitioner(10, 10, shards_per_client=0)
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=scaled_max_examples(20), deadline=None)
 @given(target=st.floats(min_value=0.0, max_value=1.5),
        n_clients=st.integers(min_value=20, max_value=100))
 def test_property_partition_sizes_and_validity(target, n_clients):

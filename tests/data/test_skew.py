@@ -5,6 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from _hypothesis_support import scaled_max_examples
+
 from repro.data.distributions import imbalance_ratio
 from repro.data.skew import (
     apply_global_skew,
@@ -82,7 +84,7 @@ class TestApplyGlobalSkew:
         assert len(np.unique(keep)) == len(keep)
 
 
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=scaled_max_examples(50), deadline=None)
 @given(
     num_classes=st.integers(min_value=2, max_value=60),
     rho=st.floats(min_value=1.0, max_value=100.0),

@@ -255,3 +255,52 @@ class TestSimulationExecutorModes:
     def test_invalid_cache_size_rejected(self):
         with pytest.raises(ValueError):
             FederatedConfig(dataset_cache_size=0)
+
+    def test_workspace_persists_across_simulation_rounds(self, sim_setup):
+        sim, _ = run_simulation(sim_setup, "vectorized", rounds=3)
+        assert sim.executor.workspace_builds == 1
+        assert sim.executor.workspace is not None
+
+    def test_float32_simulation_smoke(self, sim_setup):
+        generator, partition, test_set = sim_setup
+        sim = FederatedSimulation(
+            partition=partition,
+            generator=generator,
+            model_factory=lambda: MLP(64, 10, hidden=(16,), seed=5),
+            selector=RoundRobinSelector(partition.n_clients, 4),
+            test_set=test_set,
+            config=FederatedConfig(
+                rounds=2,
+                local=LocalTrainingConfig(batch_size=8, learning_rate=1e-3),
+                executor_mode="vectorized",
+                dtype="float32",
+                seed=0,
+            ),
+        )
+        history = sim.run()
+        assert sim.executor.last_fallback_reason is None
+        assert all(r.test_accuracy is not None for r in history.records)
+
+    def test_sequential_eval_backend_matches_batched(self, sim_setup):
+        generator, partition, test_set = sim_setup
+
+        def build(eval_backend):
+            return FederatedSimulation(
+                partition=partition,
+                generator=generator,
+                model_factory=lambda: MLP(64, 10, hidden=(16,), seed=5),
+                selector=RoundRobinSelector(partition.n_clients, 4),
+                test_set=test_set,
+                config=FederatedConfig(
+                    rounds=2,
+                    local=LocalTrainingConfig(batch_size=8, learning_rate=1e-3),
+                    executor_mode="vectorized",
+                    eval_backend=eval_backend,
+                    seed=0,
+                ),
+            )
+
+        hist_batched = build("batched").run()
+        hist_sequential = build("sequential").run()
+        np.testing.assert_array_equal(hist_batched.accuracies(),
+                                      hist_sequential.accuracies())

@@ -1,0 +1,131 @@
+"""Batched (forward-only) evaluation must reproduce the sequential test pass."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_synthetic_mnist, make_uniform_test_set
+from repro.federated.client import FederatedClient, LocalTrainingConfig
+from repro.federated.executor import LocalUpdateExecutor
+from repro.federated.server import FederatedServer
+from repro.nn.layers import Linear
+from repro.nn.metrics import BatchedEvaluator, evaluate_model
+from repro.nn.models import MLP, MnistCNN
+from repro.nn.module import Module
+
+
+def mlp_factory():
+    return MLP(64, 10, hidden=(16,), seed=11)
+
+
+def cnn_factory():
+    return MnistCNN(1, 8, 10, channels=(3, 5), hidden=12, dropout=0.25, seed=11)
+
+
+@pytest.fixture(scope="module")
+def test_set():
+    return make_uniform_test_set(make_synthetic_mnist(seed=0),
+                                 samples_per_class=20, seed=1)
+
+
+def trained_server(factory, rounds=2):
+    """A server whose global model has moved off its initialisation."""
+    gen = make_synthetic_mnist(seed=0)
+    clients = [
+        FederatedClient(k, 10,
+                        dataset=gen.generate([3] * 10, rng=np.random.default_rng(k)),
+                        seed=500 + k)
+        for k in range(4)
+    ]
+    server = FederatedServer(factory)
+    executor = LocalUpdateExecutor("vectorized")
+    for r in range(rounds):
+        states = executor.run_round(clients, factory, server.global_state(),
+                                    LocalTrainingConfig(learning_rate=1e-3),
+                                    round_index=r)
+        server.aggregate(states)
+    return server
+
+
+def assert_reports_equal(a, b):
+    assert a["accuracy"] == b["accuracy"]
+    assert a["n_samples"] == b["n_samples"]
+    np.testing.assert_array_equal(a["confusion_matrix"], b["confusion_matrix"])
+    np.testing.assert_array_equal(
+        np.nan_to_num(a["per_class_accuracy"], nan=-1.0),
+        np.nan_to_num(b["per_class_accuracy"], nan=-1.0),
+    )
+
+
+class TestBatchedEvaluator:
+    @pytest.mark.parametrize("factory", [mlp_factory, cnn_factory],
+                             ids=["mlp", "mnist_cnn"])
+    def test_matches_sequential_loop(self, factory, test_set):
+        server = trained_server(factory)
+        evaluator = BatchedEvaluator(factory())
+        evaluator.load_state(server.global_state(copy=False))
+        batched = evaluator.evaluate(test_set)
+        sequential = evaluate_model(server.global_model, test_set, batch_size=64)
+        assert_reports_equal(batched, sequential)
+
+    def test_chunking_does_not_change_predictions(self, test_set):
+        server = trained_server(mlp_factory)
+        state = server.global_state(copy=False)
+        small = BatchedEvaluator(mlp_factory(), chunk_size=7)
+        large = BatchedEvaluator(mlp_factory(), chunk_size=10_000)
+        small.load_state(state)
+        large.load_state(state)
+        np.testing.assert_array_equal(small.predictions(test_set),
+                                      large.predictions(test_set))
+
+    def test_reusable_across_state_updates(self, test_set):
+        # one evaluator tracks a moving global model (the round-persistent use)
+        evaluator = BatchedEvaluator(mlp_factory())
+        for rounds in (1, 2):
+            server = trained_server(mlp_factory, rounds=rounds)
+            evaluator.load_state(server.global_state(copy=False))
+            reference = evaluate_model(server.global_model, test_set)
+            assert evaluator.evaluate(test_set)["accuracy"] == reference["accuracy"]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            BatchedEvaluator(mlp_factory(), chunk_size=0)
+
+    def test_effective_chunk_bounded_by_element_budget(self):
+        evaluator = BatchedEvaluator(mlp_factory(), chunk_size=2048)
+        # narrow samples (benchmark MLP): full chunk
+        assert evaluator._effective_chunk(64) == 2048
+        # wide conv-stack samples shrink the chunk to bound im2col memory
+        budget = BatchedEvaluator.CHUNK_ELEMENT_BUDGET
+        assert evaluator._effective_chunk(3072) == budget // 3072
+        assert evaluator._effective_chunk(10 * budget) == 1
+
+
+class TestServerEvalBackend:
+    def test_batched_and_sequential_backends_agree(self, test_set):
+        batched = trained_server(mlp_factory)
+        sequential = FederatedServer(mlp_factory, eval_backend="sequential")
+        sequential.global_model.load_state_dict(batched.global_state())
+        assert_reports_equal(batched.evaluate(test_set),
+                             sequential.evaluate(test_set))
+        assert batched.eval_fallback_reason is None
+
+    def test_unvectorizable_model_falls_back(self, test_set):
+        class Custom(Module):
+            def __init__(self):
+                self.lin = Linear(64, 10, seed=0)
+
+            def forward(self, x):
+                return self.lin(x.reshape(x.shape[0], -1))
+
+            def backward(self, grad):
+                return self.lin.backward(grad)
+
+        server = FederatedServer(Custom)
+        report = server.evaluate(test_set)
+        assert server.eval_fallback_reason is not None
+        reference = evaluate_model(server.global_model, test_set)
+        assert_reports_equal(report, reference)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            FederatedServer(mlp_factory, eval_backend="gpu")

@@ -1,0 +1,154 @@
+"""Tests of the CI benchmark-regression gate (benchmarks/compare_bench.py)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                       "benchmarks", "compare_bench.py")
+_spec = importlib.util.spec_from_file_location("compare_bench", _SCRIPT)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def sim_payload(vectorized=4.0, warm=5.0, eval_speedup=2.1, n_test=2000):
+    return {
+        "benchmark": "simulation_throughput",
+        "results": [
+            {"k": 32, "samples_per_client": 64,
+             "speedup_vs_sequential": {"vectorized": vectorized}},
+        ],
+        "multi_round": {"k": 32, "rounds": 5, "warm_vs_cold_speedup": warm},
+        "evaluation": {"n_test": n_test, "sequential_batch_size": 64,
+                       "batched_vs_sequential_speedup": eval_speedup},
+    }
+
+
+def crypto_payload(encrypt=400.0):
+    return {
+        "benchmark": "crypto_throughput",
+        "results": [
+            {"key_size": 256, "n_clients": 100, "registry_length": 56,
+             "speedup": {"encrypt": encrypt, "aggregate": 4.4, "decrypt": 4.8,
+                         "wire": 4.7}},
+        ],
+    }
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestExtractMetrics:
+    def test_sim_metrics(self):
+        metrics = compare_bench.extract_metrics(sim_payload())
+        assert sorted(metrics) == [
+            "sim/evaluation/batched_vs_sequential_speedup",
+            "sim/k=32/speedup/vectorized",
+        ]
+        assert metrics["sim/k=32/speedup/vectorized"]["value"] == 4.0
+        assert metrics["sim/k=32/speedup/vectorized"]["workload"] == {
+            "samples_per_client": 64}
+
+    def test_one_shot_multiround_ratio_not_gated(self):
+        # warm_vs_cold divides by a single un-repeated cold-round timing;
+        # the gate must never consume it
+        metrics = compare_bench.extract_metrics(sim_payload())
+        assert "sim/multi_round/warm_vs_cold_speedup" not in metrics
+
+    def test_host_dependent_modes_not_gated(self):
+        payload = sim_payload()
+        payload["results"][0]["speedup_vs_sequential"].update(
+            {"thread": 0.9, "process": 0.52})
+        metrics = compare_bench.extract_metrics(payload)
+        assert "sim/k=32/speedup/thread" not in metrics
+        assert "sim/k=32/speedup/process" not in metrics
+        assert "sim/k=32/speedup/vectorized" in metrics
+
+    def test_crypto_metrics_keep_only_stable_ratios(self):
+        metrics = compare_bench.extract_metrics(crypto_payload())
+        assert metrics["crypto/key=256/speedup/encrypt"]["value"] == 400.0
+        assert metrics["crypto/key=256/speedup/wire"]["value"] == 4.7
+        # one-shot ms-scale timings must never be gated
+        assert "crypto/key=256/speedup/aggregate" not in metrics
+        assert "crypto/key=256/speedup/decrypt" not in metrics
+
+    def test_sections_optional(self):
+        payload = sim_payload()
+        payload["multi_round"] = None
+        payload["evaluation"] = None
+        metrics = compare_bench.extract_metrics(payload)
+        assert list(metrics) == ["sim/k=32/speedup/vectorized"]
+
+    def test_workload_mismatch_is_skipped_not_gated(self, tmp_path):
+        # same keys, different eval workload: the regressed-looking eval
+        # ratio must be skipped instead of failing the gate
+        baseline = write(tmp_path, "base.json", sim_payload(eval_speedup=2.1))
+        candidate = write(tmp_path, "cand.json",
+                          sim_payload(eval_speedup=0.5, n_test=200))
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--candidate", candidate]) == 0
+
+    def test_unknown_payload_is_empty(self):
+        assert compare_bench.extract_metrics({"benchmark": "other"}) == {}
+
+    def test_real_committed_baselines_have_metrics(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        for name in ("BENCH_sim.json", "BENCH_crypto.json"):
+            with open(os.path.join(root, name)) as fh:
+                assert compare_bench.extract_metrics(json.load(fh))
+
+
+class TestGate:
+    def test_within_tolerance_passes(self, tmp_path):
+        baseline = write(tmp_path, "base.json", sim_payload(vectorized=4.0))
+        candidate = write(tmp_path, "cand.json", sim_payload(vectorized=3.0))
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--candidate", candidate]) == 0
+
+    def test_regression_fails(self, tmp_path):
+        baseline = write(tmp_path, "base.json", sim_payload(vectorized=4.0))
+        candidate = write(tmp_path, "cand.json", sim_payload(vectorized=2.0))
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--candidate", candidate]) == 1
+
+    def test_override_flag_downgrades(self, tmp_path):
+        baseline = write(tmp_path, "base.json", sim_payload(vectorized=4.0))
+        candidate = write(tmp_path, "cand.json", sim_payload(vectorized=1.0))
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--candidate", candidate,
+                                   "--allow-regression"]) == 0
+
+    def test_only_shared_metrics_compared(self, tmp_path):
+        # smoke candidate without the extra sections never fails on them
+        candidate_payload = sim_payload(vectorized=3.9)
+        candidate_payload.pop("multi_round")
+        candidate_payload.pop("evaluation")
+        baseline = write(tmp_path, "base.json", sim_payload())
+        candidate = write(tmp_path, "cand.json", candidate_payload)
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--candidate", candidate]) == 0
+
+    def test_custom_tolerance(self, tmp_path):
+        baseline = write(tmp_path, "base.json", sim_payload(vectorized=4.0))
+        candidate = write(tmp_path, "cand.json", sim_payload(vectorized=3.9))
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--candidate", candidate,
+                                   "--tolerance", "0.0"]) == 1
+
+    def test_no_shared_metrics_is_an_error(self, tmp_path):
+        baseline = write(tmp_path, "base.json", sim_payload())
+        candidate = write(tmp_path, "cand.json", crypto_payload())
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--candidate", candidate]) == 2
+
+    def test_invalid_tolerance(self, tmp_path):
+        baseline = write(tmp_path, "base.json", sim_payload())
+        candidate = write(tmp_path, "cand.json", sim_payload())
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--candidate", candidate,
+                                   "--tolerance", "1.5"]) == 2
