@@ -1,0 +1,104 @@
+"""Round-persistent state of the vectorized (cohort) execution back-end.
+
+PR 2 made a single vectorized round fast; this module makes *multi-round*
+simulations fast by keeping everything a round allocates alive between
+rounds.  A :class:`CohortWorkspace` owns
+
+* the :class:`~repro.nn.batched.BatchedModel` with its flat ``(K·P)``
+  value/grad pools,
+* the fused cohort optimiser (Adam moments / SGD velocity, pool-sized), and
+* the dense ``(K, N_vc, …)`` data buffers
+  (:class:`~repro.data.cohort.CohortBuffer`),
+
+and :class:`~repro.federated.LocalUpdateExecutor` reuses one workspace for
+as long as consecutive rounds are *shape-compatible* (same cohort size, same
+model architecture, same dtype).  Each round the executor rebinds the fresh
+template model into the existing pools (:meth:`CohortWorkspace.adopt`),
+resets — never reallocates — the optimiser state, and restacks only the data
+slots whose selected client changed.  Every reuse path preserves the
+sequential contract exactly: a rebound round is arithmetically
+indistinguishable from a freshly built one, because sequential clients also
+start every round from a factory-fresh model and optimiser.
+
+Numerical safety valves: a structurally different template, a changed cohort
+size, or an unregistered custom layer silently rebuilds the workspace
+(counted in ``LocalUpdateExecutor.workspace_builds``); a ragged cohort
+raises through to the executor's usual sequential fallback while leaving the
+workspace intact for the next dense round.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.cohort import CohortBuffer
+from ..nn.batched import BatchedAdam, BatchedModel, BatchedSGD
+from ..nn.module import Module
+from .client import FederatedClient, LocalTrainingConfig
+
+__all__ = ["CohortWorkspace"]
+
+
+class CohortWorkspace:
+    """Flat pools, optimiser state and cohort buffers reused across rounds."""
+
+    def __init__(self, template: Module, num_clients: int,
+                 dtype: "str | np.dtype" = np.float64):
+        self.dtype = np.dtype(dtype)
+        #: the batched tensor program; its flat pools live for the workspace's lifetime
+        self.model = BatchedModel(template, num_clients, dtype=self.dtype)
+        self.num_clients = num_clients
+        #: dense (K, N_vc, …) data buffers with per-slot restack skipping
+        self.buffer = CohortBuffer(num_clients, dtype=self.dtype)
+        self._optimizer: "Optional[BatchedAdam | BatchedSGD]" = None
+        self._optimizer_kind: Optional[str] = None
+        #: precomputed client-row index for per-batch gathers
+        self.client_rows = np.arange(num_clients)[:, None]
+        #: rounds served by this workspace (first build included)
+        self.rounds_bound = 1
+
+    # -- per-round lifecycle ---------------------------------------------------
+
+    def adopt(self, template: Module, num_clients: int) -> bool:
+        """Try to serve a new round from the existing pools.
+
+        Returns ``True`` after rebinding the factory-fresh *template* into
+        the batched model (adopting its dropout RNG streams, exactly what
+        every sequential client's fresh clone would use).  ``False`` means
+        the round is shape-incompatible — different cohort size or model
+        structure — and the executor must build a new workspace.
+        """
+        if num_clients != self.num_clients:
+            return False
+        if not self.model.rebind(template):
+            return False
+        self.rounds_bound += 1
+        return True
+
+    def stack(self, clients: Sequence[FederatedClient]) -> tuple[np.ndarray, np.ndarray]:
+        """The round's ``(K, N_vc, …)`` data, restacking only changed slots."""
+        return self.buffer.stack([client.cohort_slot() for client in clients])
+
+    def optimizer_for(self, config: LocalTrainingConfig) -> "BatchedAdam | BatchedSGD":
+        """The round's optimiser: state reset in place, never reallocated.
+
+        Sequential clients construct a fresh optimiser every round, so the
+        persistent one is reset (moments zeroed, step counter rewound) rather
+        than carried over — bit-identical semantics without the pool-sized
+        allocations.  Switching between Adam and SGD mid-run rebuilds it.
+        """
+        if self._optimizer is None or self._optimizer_kind != config.optimizer:
+            cls = BatchedAdam if config.optimizer == "adam" else BatchedSGD
+            self._optimizer = cls(self.model, lr=config.learning_rate)
+            self._optimizer_kind = config.optimizer
+        else:
+            self._optimizer.lr = config.learning_rate
+            self._optimizer.reset()
+        return self._optimizer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CohortWorkspace(clients={self.num_clients}, "
+                f"dtype={self.dtype.name}, rounds_bound={self.rounds_bound}, "
+                f"buffer={self.buffer!r})")
