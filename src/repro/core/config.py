@@ -8,6 +8,7 @@ participation target ``K``, the number of tentative multi-time selections
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
@@ -20,7 +21,11 @@ __all__ = [
     "GROUP1_REFERENCE_SET",
     "GROUP2_REFERENCE_SET",
     "RUNTIME_DTYPES",
+    "SHARD_POLICIES",
+    "partition_cohort",
+    "resolve_num_workers",
     "resolve_runtime_dtype",
+    "resolve_shard_policy",
 ]
 
 #: Reference set used by the paper for the 10-class experiments (MNIST/CIFAR10).
@@ -42,6 +47,11 @@ def resolve_runtime_dtype(dtype: "str | np.dtype | type") -> np.dtype:
     Shared by every layer that threads the knob (``FederatedConfig`` →
     ``LocalUpdateExecutor`` → ``BatchedModel``/optimisers) so they all accept
     the same spellings and reject anything outside :data:`RUNTIME_DTYPES`.
+
+    Example
+    -------
+    >>> resolve_runtime_dtype("float32").name
+    'float32'
     """
     resolved = np.dtype(dtype)
     if resolved.name not in RUNTIME_DTYPES:
@@ -49,6 +59,91 @@ def resolve_runtime_dtype(dtype: "str | np.dtype | type") -> np.dtype:
             f"runtime dtype must be one of {RUNTIME_DTYPES}, got {resolved.name!r}"
         )
     return resolved
+
+
+#: How the parallel (multi-cohort) scheduler assigns the K selected clients
+#: to worker shards.  ``"contiguous"`` keeps selection order (shard 0 gets
+#: clients 0..s-1, ...) with near-equal shard sizes; ``"interleaved"`` deals
+#: clients round-robin (shard i gets clients i, i+W, i+2W, ...), which
+#: balances any position-correlated cost across workers.  Both policies merge
+#: back into the original client order, so results are identical either way.
+SHARD_POLICIES: tuple[str, ...] = ("contiguous", "interleaved")
+
+#: Soft cap on the default worker count: federated cohorts on the benchmark
+#: models stop scaling well before this, and oversubscribing a shared box
+#: with one process per core of a large machine hurts more than it helps.
+_DEFAULT_MAX_WORKERS = 8
+
+
+def resolve_shard_policy(policy: str) -> str:
+    """Validate a shard-policy knob against :data:`SHARD_POLICIES`.
+
+    Example
+    -------
+    >>> resolve_shard_policy("contiguous")
+    'contiguous'
+    """
+    if policy not in SHARD_POLICIES:
+        raise ValueError(
+            f"shard policy must be one of {SHARD_POLICIES}, got {policy!r}"
+        )
+    return policy
+
+
+def resolve_num_workers(num_workers: Optional[int] = None) -> int:
+    """Normalise the parallel-scheduler worker count.
+
+    ``None`` picks a sensible default for the current box: one worker per
+    CPU core, capped at 8 (cohort training stops scaling past a handful of
+    shards on the models this reproduction ships).  Explicit values are
+    validated and returned unchanged — asking for more workers than cores is
+    allowed (useful in tests) but wasteful.
+
+    Example
+    -------
+    >>> resolve_num_workers(2)
+    2
+    >>> resolve_num_workers() >= 1
+    True
+    """
+    if num_workers is None:
+        return max(1, min(os.cpu_count() or 1, _DEFAULT_MAX_WORKERS))
+    if num_workers < 1:
+        raise ValueError("num_workers must be positive when given")
+    return int(num_workers)
+
+
+def partition_cohort(num_clients: int, num_workers: int,
+                     policy: str = "contiguous") -> "list[np.ndarray]":
+    """Partition ``K`` client positions into per-worker index shards.
+
+    Returns one integer index array per shard.  At most ``num_workers``
+    shards are produced and every shard is non-empty, so ``K < num_workers``
+    simply yields ``K`` single-client shards; when ``K`` is not divisible the
+    first ``K mod W`` shards hold one extra client.  Concatenating (or
+    interleaving) the shards always reproduces ``range(K)`` exactly once —
+    the merge step relies on that bijection.
+
+    Example
+    -------
+    >>> [s.tolist() for s in partition_cohort(5, 2)]
+    [[0, 1, 2], [3, 4]]
+    >>> [s.tolist() for s in partition_cohort(5, 2, policy="interleaved")]
+    [[0, 2, 4], [1, 3]]
+    >>> len(partition_cohort(3, 8))
+    3
+    """
+    if num_clients < 1:
+        raise ValueError("num_clients must be positive")
+    num_workers = resolve_num_workers(num_workers)
+    policy = resolve_shard_policy(policy)
+    shards = min(num_clients, num_workers)
+    if policy == "interleaved":
+        return [np.arange(s, num_clients, shards) for s in range(shards)]
+    base, extra = divmod(num_clients, shards)
+    sizes = [base + (1 if s < extra else 0) for s in range(shards)]
+    bounds = np.cumsum([0] + sizes)
+    return [np.arange(bounds[s], bounds[s + 1]) for s in range(shards)]
 
 
 @dataclass(frozen=True)

@@ -59,6 +59,14 @@ class PackingScheme:
     Two packed vectors can only be combined when their schemes are
     *compatible*: same modulus, vector length, slot width, fixed-point scale
     and headroom.
+
+    Example
+    -------
+    >>> from repro.crypto import generate_keypair
+    >>> public, _ = generate_keypair(key_size=256)
+    >>> scheme = PackingScheme(public, vector_length=56, max_weight=100)
+    >>> scheme.num_ciphertexts == -(-56 // scheme.slots_per_ciphertext)
+    True
     """
 
     def __init__(self, public_key: PaillierPublicKey, vector_length: int,
@@ -129,6 +137,7 @@ class PackingScheme:
         return lengths
 
     def compatible_with(self, other: "PackingScheme") -> bool:
+        """Whether vectors packed under the two schemes can be combined."""
         return (
             self.public_key == other.public_key
             and self.vector_length == other.vector_length
@@ -154,6 +163,17 @@ class PackedEncryptedVector:
     :meth:`to_bytes` / :meth:`from_bytes`, :meth:`nbytes` and ``len()``
     (the *logical* vector length), so the secure protocol layer can swap it
     in without touching the server.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.crypto import generate_keypair
+    >>> public, private = generate_keypair(key_size=256)
+    >>> a = PackedEncryptedVector.encrypt(public, [0.25, -0.5, 0.125])
+    >>> b = PackedEncryptedVector.encrypt(public, [0.25, 0.5, 0.0],
+    ...                                   scheme=a.scheme)
+    >>> (a + b).decrypt(private).tolist()
+    [0.5, 0.0, 0.125]
     """
 
     def __init__(self, scheme: PackingScheme, ciphertexts: list[int], weight: int = 1):

@@ -5,13 +5,18 @@ Public API
 * :class:`FederatedClient`, :class:`LocalTrainingConfig` — local training.
 * :class:`FederatedServer` — global model and aggregation.
 * :func:`average_states`, :func:`weighted_average_states` — FedVC/FedAvg rules.
-* :class:`LocalUpdateExecutor` — sequential/thread/process/vectorized local
-  updates (``"vectorized"`` trains the whole cohort as one batched tensor
-  program; see :mod:`repro.nn.batched`).
+* :class:`LocalUpdateExecutor` — sequential/thread/process/vectorized/
+  parallel local updates (``"vectorized"`` trains the whole cohort as one
+  batched tensor program, ``"parallel"`` shards it across persistent worker
+  processes; see :mod:`repro.nn.batched` and
+  :mod:`repro.federated.scheduler`).
 * :class:`StackedClientStates` — zero-copy per-client views into the
   cohort's stacked parameters, aggregated via one mean over the client axis.
 * :class:`CohortWorkspace` — the round-persistent pools/optimiser/data
-  buffers the vectorized back-end reuses across rounds.
+  buffers the cohort back-ends reuse across rounds.
+* :class:`CohortScheduler` — the multi-cohort process fleet behind
+  ``executor_mode="parallel"`` (shared-memory pools, warm per-worker
+  workspaces, deterministic merge).
 * :class:`FederatedSimulation`, :class:`FederatedConfig` — the round loop.
 * :class:`TrainingHistory`, :class:`RoundRecord` — per-round metrics.
 """
@@ -23,16 +28,19 @@ from .aggregation import (
     weighted_average_states,
 )
 from .client import FederatedClient, LocalTrainingConfig
-from .executor import LocalUpdateExecutor
+from .executor import EXECUTOR_MODES, LocalUpdateExecutor
 from .history import RoundRecord, TrainingHistory
+from .scheduler import CohortScheduler, SchedulerError
 from .server import EVAL_BACKENDS, FederatedServer
 from .simulation import ClientSelectorProtocol, FederatedConfig, FederatedSimulation
-from .workspace import CohortWorkspace
+from .workspace import CohortWorkspace, shared_pool, train_cohort
 
 __all__ = [
     "ClientSelectorProtocol",
+    "CohortScheduler",
     "CohortWorkspace",
     "EVAL_BACKENDS",
+    "EXECUTOR_MODES",
     "FederatedClient",
     "FederatedConfig",
     "FederatedServer",
@@ -40,9 +48,12 @@ __all__ = [
     "LocalTrainingConfig",
     "LocalUpdateExecutor",
     "RoundRecord",
+    "SchedulerError",
     "StackedClientStates",
     "TrainingHistory",
     "average_states",
+    "shared_pool",
     "state_difference_norm",
+    "train_cohort",
     "weighted_average_states",
 ]

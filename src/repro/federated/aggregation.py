@@ -37,6 +37,15 @@ class StackedClientStates(list):
     Aggregate (or deep-copy the arrays) before running another round — the
     simulation's round loop does exactly that; only callers that retain
     per-round states across rounds need the copy.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> stacked = {"w": np.arange(6.0).reshape(3, 2)}  # 3 clients
+    >>> states = StackedClientStates([{"w": stacked["w"][k]} for k in range(3)],
+    ...                              stacked)
+    >>> len(states), states[1]["w"].tolist()
+    (3, [2.0, 3.0])
     """
 
     def __init__(self, per_client: Sequence[StateDict], stacked: StateDict):
@@ -65,6 +74,13 @@ def average_states(states: Sequence[StateDict]) -> StateDict:
     is a single ``mean`` over the client axis — the same reduction
     ``np.mean`` performs after stacking a list of states, hence numerically
     identical.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> average_states([{"w": np.array([0.0, 2.0])},
+    ...                 {"w": np.array([2.0, 4.0])}])["w"].tolist()
+    [1.0, 3.0]
     """
     if isinstance(states, StackedClientStates):
         return {k: v.mean(axis=0) for k, v in states.stacked.items()}
@@ -75,7 +91,16 @@ def average_states(states: Sequence[StateDict]) -> StateDict:
 
 def weighted_average_states(states: Sequence[StateDict],
                             weights: Sequence[float]) -> StateDict:
-    """Sample-count-weighted FedAvg average (the original McMahan et al. rule)."""
+    """Sample-count-weighted FedAvg average (the original McMahan et al. rule).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> weighted_average_states([{"w": np.array([0.0])},
+    ...                          {"w": np.array([4.0])}],
+    ...                         weights=[3, 1])["w"].tolist()
+    [1.0]
+    """
     _check_states(states)
     weights_arr = np.asarray(list(weights), dtype=float)
     if weights_arr.size != len(states):
@@ -90,7 +115,15 @@ def weighted_average_states(states: Sequence[StateDict],
 
 
 def state_difference_norm(a: StateDict, b: StateDict) -> float:
-    """L2 norm of the difference between two model states (weight divergence)."""
+    """L2 norm of the difference between two model states (weight divergence).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> state_difference_norm({"w": np.array([3.0, 0.0])},
+    ...                       {"w": np.array([0.0, 4.0])})
+    5.0
+    """
     if set(a) != set(b):
         raise KeyError("model states have different parameter names")
     total = 0.0

@@ -32,6 +32,12 @@ class LocalTrainingConfig:
 
     Defaults follow the paper's group-1 configuration: batch size ``B = 8``,
     ``E = 1`` local epoch, Adam with learning rate ``1e-4``.
+
+    Example
+    -------
+    >>> config = LocalTrainingConfig(batch_size=8, learning_rate=1e-3)
+    >>> config.local_epochs, config.optimizer
+    (1, 'adam')
     """
 
     batch_size: int = 8
@@ -73,6 +79,16 @@ class FederatedClient:
         LRU pool keyed by ``client_id`` instead of being pinned on the
         client forever — repeatedly-selected clients hit the cache while a
         federation of millions keeps bounded memory.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.data.dataset import ArrayDataset
+    >>> data = ArrayDataset(np.zeros((8, 4)), np.zeros(8, dtype=int),
+    ...                     num_classes=2)
+    >>> client = FederatedClient(client_id=0, num_classes=2, dataset=data)
+    >>> client.num_samples, client.label_distribution().tolist()
+    (8, [1.0, 0.0])
     """
 
     def __init__(self, client_id: int, num_classes: int,
@@ -105,6 +121,7 @@ class FederatedClient:
 
     @property
     def num_samples(self) -> int:
+        """Number of local samples (``N_VC`` under the FedVC convention)."""
         return len(self.dataset)
 
     def cohort_slot(self) -> tuple[tuple[int, int], ArrayDataset]:

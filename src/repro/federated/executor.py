@@ -14,8 +14,16 @@ plain NumPy, so four execution modes are offered:
   are stacked into one ``(K, N_vc, …)`` tensor, the model's parameters are
   broadcast to a leading client axis, and every local optimisation step for
   all K clients runs as a handful of batched matmuls
-  (:mod:`repro.nn.batched`).  This is the fastest mode for many small
-  clients, where the sequential Python loop — not BLAS — is the bottleneck.
+  (:mod:`repro.nn.batched`).  This is the fastest single-core mode for many
+  small clients, where the sequential Python loop — not BLAS — is the
+  bottleneck;
+* ``"parallel"`` — the multi-cohort back-end: the K clients are sharded
+  across ``num_workers`` persistent worker processes, each running its shard
+  as an independent vectorized block with bulk state crossing the process
+  boundary through shared-memory pools
+  (:class:`~repro.federated.scheduler.CohortScheduler`).  This is the
+  fastest mode on multi-core boxes at large K; with float64 pools it is
+  bit-identical to ``"vectorized"``.
 
 All modes produce matching results for the same inputs: the work items are
 pure functions of (client dataset, incoming weights, config), and the
@@ -49,19 +57,24 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from ..core.config import resolve_runtime_dtype
+from ..core.config import resolve_runtime_dtype, resolve_shard_policy
 from ..data.cohort import CohortShapeError
-from ..nn.batched import UnvectorizableModelError, batched_cross_entropy
+from ..nn.batched import UnvectorizableModelError
 from ..nn.module import Module
 from .aggregation import StackedClientStates
 from .client import FederatedClient, LocalTrainingConfig
-from .workspace import CohortWorkspace
+from .scheduler import CohortScheduler, SchedulerError
+from .workspace import CohortWorkspace, train_cohort
 
-__all__ = ["LocalUpdateExecutor"]
+__all__ = ["EXECUTOR_MODES", "LocalUpdateExecutor"]
 
 StateDict = dict[str, np.ndarray]
 
-EXECUTOR_MODES = ("sequential", "thread", "process", "vectorized")
+EXECUTOR_MODES = ("sequential", "thread", "process", "vectorized", "parallel")
+
+#: modes that run the cohort tensor program (and therefore accept the
+#: float32 fast path and the round-persistent workspace machinery)
+_COHORT_MODES = ("vectorized", "parallel")
 
 
 def _run_local_update(client: FederatedClient, model: Module, global_state: StateDict,
@@ -72,23 +85,47 @@ def _run_local_update(client: FederatedClient, model: Module, global_state: Stat
 
 
 class LocalUpdateExecutor:
-    """Run the selected clients' local updates with the chosen back-end."""
+    """Run the selected clients' local updates with the chosen back-end.
+
+    ``num_workers`` / ``shard_policy`` / ``scheduler_timeout`` configure the
+    ``"parallel"`` mode's scheduler (worker-process count, client→shard
+    assignment, and how long a round waits for a worker's reply before
+    declaring it wedged — raise it for genuinely long rounds, ``None``
+    waits forever); they are ignored by every other mode.  ``max_workers``
+    bounds the ``"thread"`` / ``"process"`` pools.
+
+    Example
+    -------
+    >>> executor = LocalUpdateExecutor("vectorized")
+    >>> executor.mode, executor.workspace_builds
+    ('vectorized', 0)
+    >>> # states = executor.run_round(clients, model_factory, global_state,
+    >>> #                             LocalTrainingConfig())
+    """
 
     def __init__(self, mode: str = "sequential", max_workers: Optional[int] = None,
-                 dtype: "str | np.dtype" = "float64"):
+                 dtype: "str | np.dtype" = "float64",
+                 num_workers: Optional[int] = None,
+                 shard_policy: str = "contiguous",
+                 scheduler_timeout: Optional[float] = 120.0):
         if mode not in EXECUTOR_MODES:
             raise ValueError(f"mode must be one of {EXECUTOR_MODES}")
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be positive when given")
         self.dtype = resolve_runtime_dtype(dtype)
-        if self.dtype != np.dtype(np.float64) and mode != "vectorized":
+        if self.dtype != np.dtype(np.float64) and mode not in _COHORT_MODES:
             raise ValueError(
                 "the float32 fast path is a cohort feature; it requires "
-                f"mode='vectorized', got mode={mode!r}"
+                f"mode in {_COHORT_MODES}, got mode={mode!r}"
             )
+        if scheduler_timeout is not None and scheduler_timeout <= 0:
+            raise ValueError("scheduler_timeout must be positive (or None)")
         self.mode = mode
         self.max_workers = max_workers
-        #: why the most recent vectorized round fell back to sequential (or None)
+        self.num_workers = num_workers
+        self.shard_policy = resolve_shard_policy(shard_policy)
+        self.scheduler_timeout = scheduler_timeout
+        #: why the most recent cohort round fell back (or None)
         self.last_fallback_reason: Optional[str] = None
         #: the round-persistent cohort state, built lazily on the first
         #: vectorized round and reused while rounds stay shape-compatible
@@ -96,15 +133,56 @@ class LocalUpdateExecutor:
         #: how many times a workspace had to be (re)built — 1 after any number
         #: of shape-compatible vectorized rounds
         self.workspace_builds = 0
+        #: the parallel mode's process fleet, built lazily on the first round
+        self.scheduler: Optional[CohortScheduler] = None
+
+    def close(self) -> None:
+        """Shut down the parallel scheduler's worker fleet (if any).
+
+        Idempotent, and a no-op for every in-process mode.  The executor
+        stays usable afterwards — the next parallel round simply rebuilds
+        the fleet.
+
+        Example
+        -------
+        >>> executor = LocalUpdateExecutor("parallel", num_workers=2)
+        >>> executor.close()
+        """
+        if self.scheduler is not None:
+            self.scheduler.shutdown()
 
     def run_round(self, clients: Sequence[FederatedClient],
                   model_factory: Callable[[], Module],
                   global_state: StateDict,
                   config: LocalTrainingConfig,
                   round_index: int = 0) -> list[StateDict]:
-        """Train every client in *clients* from *global_state*; return their states."""
+        """Train every client in *clients* from *global_state*; return their states.
+
+        Example
+        -------
+        >>> executor = LocalUpdateExecutor("sequential")
+        >>> executor.run_round([], lambda: None, {}, LocalTrainingConfig())
+        []
+        """
         if not clients:
             return []
+        if self.mode == "parallel":
+            self.last_fallback_reason = None
+            try:
+                return self._run_parallel(clients, model_factory, global_state,
+                                          config, round_index)
+            except (SchedulerError, UnvectorizableModelError,
+                    CohortShapeError) as exc:
+                self.last_fallback_reason = str(exc)
+                try:
+                    return self._run_vectorized(clients, model_factory,
+                                                global_state, config, round_index)
+                except (UnvectorizableModelError, CohortShapeError) as inner:
+                    self.last_fallback_reason = (
+                        f"{exc}; vectorized fallback failed: {inner}"
+                    )
+                    return self._run_sequential(clients, model_factory,
+                                                global_state, config, round_index)
         if self.mode == "vectorized":
             self.last_fallback_reason = None
             try:
@@ -161,7 +239,6 @@ class LocalUpdateExecutor:
         # a ragged cohort raises CohortShapeError here; the workspace stays
         # intact (already-copied slots remain truthful) for the next dense round
         x, y = workspace.stack(clients)
-        n = x.shape[1]
         batched = workspace.model
         batched.load_state_dict_broadcast(global_state)
         optimizer = workspace.optimizer_for(config)
@@ -172,22 +249,27 @@ class LocalUpdateExecutor:
             )
             for client in clients
         ]
-        rows = workspace.client_rows
-        batched.train()
-        for _ in range(config.local_epochs):
-            orders = np.stack([rng.permutation(n) for rng in rngs]) if n else None
-            for batch_index, start in enumerate(range(0, n, config.batch_size)):
-                if (config.max_batches_per_epoch is not None
-                        and batch_index >= config.max_batches_per_epoch):
-                    break
-                idx = orders[:, start : start + config.batch_size]
-                xb = x[rows, idx]
-                yb = y[rows, idx]
-                logits = batched.forward(xb)
-                _, grad = batched_cross_entropy(logits, yb)
-                # no zero_grad: batched layer backwards assign (not accumulate)
-                batched.backward(grad)
-                optimizer.step()
+        train_cohort(batched, optimizer, x, y, rngs, config,
+                     rows=workspace.client_rows)
         for client in clients:
             client.rounds_participated += 1
         return StackedClientStates(batched.state_dicts(), batched.stacked_state())
+
+    def _run_parallel(self, clients: Sequence[FederatedClient],
+                      model_factory: Callable[[], Module],
+                      global_state: StateDict, config: LocalTrainingConfig,
+                      round_index: int) -> StackedClientStates:
+        """Shard the cohort across the scheduler's persistent worker fleet.
+
+        The scheduler is built lazily on the first parallel round and reused
+        for as long as rounds keep the same geometry; every failure mode
+        (crashed worker, unvectorizable model, ragged cohort) raises into
+        :meth:`run_round`'s fallback chain.
+        """
+        if self.scheduler is None:
+            self.scheduler = CohortScheduler(num_workers=self.num_workers,
+                                             shard_policy=self.shard_policy,
+                                             dtype=self.dtype,
+                                             timeout=self.scheduler_timeout)
+        return self.scheduler.run_round(clients, model_factory, global_state,
+                                        config, round_index)

@@ -18,7 +18,17 @@ __all__ = ["RoundRecord", "TrainingHistory"]
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """Everything measured about one federated round."""
+    """Everything measured about one federated round.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> record = RoundRecord(round_index=0, selected_clients=(3, 1),
+    ...                      population_distribution=np.array([0.5, 0.5]),
+    ...                      population_bias=0.0, test_accuracy=0.9)
+    >>> record.selected_clients
+    (3, 1)
+    """
 
     round_index: int
     selected_clients: tuple[int, ...]
@@ -30,11 +40,21 @@ class RoundRecord:
 
 @dataclass
 class TrainingHistory:
-    """Accumulated per-round records plus convenience reductions."""
+    """Accumulated per-round records plus convenience reductions.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> history = TrainingHistory()
+    >>> history.append(RoundRecord(0, (0, 1), np.array([0.5, 0.5]), 0.0, 0.8))
+    >>> len(history), history.accuracies().tolist()
+    (1, [0.8])
+    """
 
     records: list[RoundRecord] = field(default_factory=list)
 
     def append(self, record: RoundRecord) -> None:
+        """Add one completed round's record to the history."""
         self.records.append(record)
 
     def __len__(self) -> int:

@@ -36,6 +36,15 @@ class FederatedServer:
     and reused every round), falling back to the sequential loop for models
     without a registered cohort chain; ``"sequential"`` always uses the
     per-batch Python loop.  Both produce identical metrics.
+
+    Example
+    -------
+    >>> from repro.nn.models import MLP
+    >>> server = FederatedServer(lambda: MLP(8, 2, hidden=(4,), seed=0))
+    >>> sorted(server.global_state())[:2]
+    ['net.layers.1.bias', 'net.layers.1.weight']
+    >>> server.rounds_completed
+    0
     """
 
     def __init__(self, model_factory: Callable[[], Module], aggregation: str = "uniform",
@@ -114,3 +123,14 @@ class FederatedServer:
     def new_client_model(self) -> Module:
         """A fresh model instance for a client (weights loaded by the executor)."""
         return self.model_factory()
+
+    def close(self) -> None:
+        """Drop the cached batched evaluator and its test-set cast caches.
+
+        Idempotent; the next :meth:`evaluate` rebuilds the evaluator on
+        demand.  Part of the simulation's clean-shutdown path — the batched
+        evaluator pins its parameter stack and one float64 cast per test set
+        for the server's lifetime, which outlives short-lived runs.
+        """
+        self._evaluator = None
+        self.eval_fallback_reason = None

@@ -20,7 +20,7 @@ from typing import Callable, Optional, Protocol, Sequence
 
 import numpy as np
 
-from ..core.config import resolve_runtime_dtype
+from ..core.config import resolve_runtime_dtype, resolve_shard_policy
 from ..data.cohort import DatasetCache
 from ..data.dataset import ArrayDataset
 from ..data.distributions import emd, uniform_distribution
@@ -39,6 +39,7 @@ class ClientSelectorProtocol(Protocol):
     """Anything that can pick the participating clients of a round."""
 
     def select(self, round_index: int) -> Sequence[int]:  # pragma: no cover - protocol
+        """Return the indices of the clients participating in this round."""
         ...
 
 
@@ -47,17 +48,30 @@ class FederatedConfig:
     """Top-level configuration of a federated run.
 
     ``executor_mode`` selects the local-update back-end
-    (``"sequential"``/``"thread"``/``"process"``/``"vectorized"``; see
-    :class:`repro.federated.LocalUpdateExecutor`).  ``dataset_cache_size``
+    (``"sequential"``/``"thread"``/``"process"``/``"vectorized"``/
+    ``"parallel"``; see :class:`repro.federated.LocalUpdateExecutor`).
+    ``num_workers`` / ``shard_policy`` / ``scheduler_timeout`` configure the
+    ``"parallel"`` mode's multi-cohort scheduler (worker-process count,
+    defaulting to one per core; client→shard assignment, see
+    :data:`repro.core.config.SHARD_POLICIES`; and the per-round worker-reply
+    deadline in seconds — raise it for genuinely long local updates,
+    ``None`` waits forever).  ``dataset_cache_size``
     bounds the shared LRU pool of materialised client datasets; ``None``
     disables pooling (each client pins its own data forever, the pre-cache
     behaviour).  ``dtype`` is the cohort-runtime precision knob
     (:data:`repro.core.config.RUNTIME_DTYPES`): ``"float64"`` (default)
     reproduces sequential execution bit-for-bit, ``"float32"`` is the
-    vectorized-only fast path with single-precision tolerance.
+    cohort-only fast path with single-precision tolerance.
     ``eval_backend`` picks the server's test pass
     (``"batched"``/``"sequential"``, identical metrics; see
     :class:`repro.federated.FederatedServer`).
+
+    Example
+    -------
+    >>> config = FederatedConfig(rounds=5, executor_mode="parallel",
+    ...                          num_workers=2, seed=0)
+    >>> config.shard_policy
+    'contiguous'
     """
 
     rounds: int = 20
@@ -67,6 +81,9 @@ class FederatedConfig:
     dataset_cache_size: Optional[int] = 1024
     dtype: str = "float64"
     eval_backend: str = "batched"
+    num_workers: Optional[int] = None
+    shard_policy: str = "contiguous"
+    scheduler_timeout: Optional[float] = 120.0
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -77,17 +94,53 @@ class FederatedConfig:
         if self.dataset_cache_size is not None and self.dataset_cache_size < 1:
             raise ValueError("dataset_cache_size must be positive when given")
         resolved = resolve_runtime_dtype(self.dtype)
-        if resolved != np.dtype("float64") and self.executor_mode != "vectorized":
+        if resolved != np.dtype("float64") and self.executor_mode not in (
+                "vectorized", "parallel"):
             raise ValueError(
                 "dtype='float32' is the cohort fast path and requires "
-                "executor_mode='vectorized'"
+                "executor_mode='vectorized' or 'parallel'"
             )
+        if self.num_workers is not None:
+            if self.num_workers < 1:
+                raise ValueError("num_workers must be positive when given")
+            if self.executor_mode != "parallel":
+                raise ValueError(
+                    "num_workers configures the parallel scheduler; it "
+                    "requires executor_mode='parallel'"
+                )
+        resolve_shard_policy(self.shard_policy)
+        if self.shard_policy != "contiguous" and self.executor_mode != "parallel":
+            raise ValueError(
+                "shard_policy configures the parallel scheduler; it "
+                "requires executor_mode='parallel'"
+            )
+        if self.scheduler_timeout is not None and self.scheduler_timeout <= 0:
+            raise ValueError("scheduler_timeout must be positive (or None)")
         if self.eval_backend not in EVAL_BACKENDS:
             raise ValueError(f"eval_backend must be one of {EVAL_BACKENDS}")
 
 
 class FederatedSimulation:
-    """Simulate federated training with a pluggable client-selection strategy."""
+    """Simulate federated training with a pluggable client-selection strategy.
+
+    Example
+    -------
+    >>> from repro import (FederatedConfig, FederatedSimulation,
+    ...                    quick_federation, make_uniform_test_set)
+    >>> from repro.core import RandomSelector
+    >>> from repro.nn.models import MLP
+    >>> partition, generator = quick_federation(n_clients=20, seed=0)
+    >>> sim = FederatedSimulation(
+    ...     partition=partition, generator=generator,
+    ...     model_factory=lambda: MLP(64, 10, hidden=(16,), seed=7),
+    ...     selector=RandomSelector(partition.client_distributions(), 4, seed=0),
+    ...     test_set=make_uniform_test_set(generator, samples_per_class=2, seed=1),
+    ...     config=FederatedConfig(rounds=2, executor_mode="vectorized", seed=0),
+    ... )
+    >>> history = sim.run()
+    >>> len(history)
+    2
+    """
 
     def __init__(self, partition: ClientPartition, generator: SyntheticImageGenerator,
                  model_factory: Callable[[], Module], selector: ClientSelectorProtocol,
@@ -101,8 +154,13 @@ class FederatedSimulation:
         self.config = config or FederatedConfig()
         self.server = FederatedServer(model_factory,
                                       eval_backend=self.config.eval_backend)
-        self.executor = LocalUpdateExecutor(self.config.executor_mode,
-                                            dtype=self.config.dtype)
+        self.executor = LocalUpdateExecutor(
+            self.config.executor_mode,
+            dtype=self.config.dtype,
+            num_workers=self.config.num_workers,
+            shard_policy=self.config.shard_policy,
+            scheduler_timeout=self.config.scheduler_timeout,
+        )
         self.dataset_cache = (
             None if self.config.dataset_cache_size is None
             else DatasetCache(self.config.dataset_cache_size)
@@ -177,3 +235,24 @@ class FederatedSimulation:
             if progress is not None:
                 progress(record)
         return self.history
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release round-persistent runtime state (idempotent).
+
+        Shuts down the parallel scheduler's worker processes (if the run
+        used ``executor_mode="parallel"``) and drops the server's cached
+        batched evaluator.  The simulation stays usable — the next round
+        simply rebuilds what it needs — so this is about not leaking worker
+        processes past the simulation's useful life.  Simulations also work
+        as context managers: ``with FederatedSimulation(...) as sim: ...``.
+        """
+        self.executor.close()
+        self.server.close()
+
+    def __enter__(self) -> "FederatedSimulation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

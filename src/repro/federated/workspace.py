@@ -29,20 +29,117 @@ workspace intact for the next dense round.
 
 from __future__ import annotations
 
+import multiprocessing
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..data.cohort import CohortBuffer
-from ..nn.batched import BatchedAdam, BatchedModel, BatchedSGD
+from ..nn.batched import BatchedAdam, BatchedModel, BatchedSGD, batched_cross_entropy
 from ..nn.module import Module
 from .client import FederatedClient, LocalTrainingConfig
 
-__all__ = ["CohortWorkspace"]
+__all__ = ["CohortWorkspace", "shared_pool", "train_cohort"]
+
+
+def shared_pool(shape: Sequence[int], dtype: "str | np.dtype",
+                ctx: "Optional[multiprocessing.context.BaseContext]" = None,
+                ) -> np.ndarray:
+    """Allocate a dense array on process-shared (fork-inheritable) memory.
+
+    The multi-cohort scheduler keeps three kinds of state in pools allocated
+    here: the round's flattened global parameters (parent writes, every
+    worker reads), each shard's stacked ``(K_s, N_vc, …)`` cohort data
+    (parent restacks changed slots, its worker trains from the same pages)
+    and each shard's flat result pool (worker writes its trained parameter
+    stack, parent merges zero-copy).  Worker processes forked *after* the
+    allocation inherit the mapping, so per-round communication is a couple of
+    array writes instead of pickling models and datasets through a pipe.
+
+    Without *ctx* the pool comes from the default multiprocessing context;
+    the returned array owns a reference to the underlying shared block, so it
+    lives exactly as long as the array (and any forked views of it) does.
+
+    Example
+    -------
+    >>> pool = shared_pool((2, 3), "float64")
+    >>> pool[:] = 1.0
+    >>> pool.shape
+    (2, 3)
+    """
+    ctx = ctx or multiprocessing.get_context()
+    resolved = np.dtype(dtype)
+    n_bytes = int(np.prod(shape)) * resolved.itemsize
+    raw = ctx.RawArray("b", max(n_bytes, 1))
+    return np.frombuffer(raw, dtype=resolved, count=int(np.prod(shape))
+                         ).reshape(tuple(shape))
+
+
+def train_cohort(model: BatchedModel, optimizer: "BatchedAdam | BatchedSGD",
+                 x: np.ndarray, y: np.ndarray,
+                 rngs: "Sequence[np.random.Generator]",
+                 config: LocalTrainingConfig,
+                 rows: Optional[np.ndarray] = None) -> None:
+    """Run every client's full local update as one batched tensor program.
+
+    This is the body of a vectorized round, shared by the in-process
+    executor and the parallel scheduler's workers: it replays the exact
+    sequential schedule — per-client epoch permutations drawn from *rngs*
+    (one generator per client, seeded exactly like the sequential
+    :class:`repro.data.DataLoader`), same batch boundaries, same optimiser
+    arithmetic — with the client loop folded into the leading axis of the
+    ``(K, N_vc, …)`` arrays *x* / *y*.  The trained parameters land in
+    *model*'s flat value pool; nothing is returned.
+
+    *rows* is the precomputed ``(K, 1)`` client-row index used for per-batch
+    gathers (recomputed when omitted — the round-persistent workspace caches
+    it across rounds).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.federated.client import LocalTrainingConfig
+    >>> from repro.nn.batched import BatchedAdam, BatchedModel
+    >>> from repro.nn.models import MLP
+    >>> model = BatchedModel(MLP(4, 2, hidden=(3,), seed=0), num_clients=2)
+    >>> x, y = np.ones((2, 8, 4)), np.zeros((2, 8), dtype=int)
+    >>> rngs = [np.random.default_rng(k) for k in range(2)]
+    >>> train_cohort(model, BatchedAdam(model), x, y, rngs,
+    ...              LocalTrainingConfig(batch_size=4))
+    """
+    n = x.shape[1]
+    if rows is None:
+        rows = np.arange(x.shape[0])[:, None]
+    model.train()
+    for _ in range(config.local_epochs):
+        orders = np.stack([rng.permutation(n) for rng in rngs]) if n else None
+        for batch_index, start in enumerate(range(0, n, config.batch_size)):
+            if (config.max_batches_per_epoch is not None
+                    and batch_index >= config.max_batches_per_epoch):
+                break
+            idx = orders[:, start : start + config.batch_size]
+            xb = x[rows, idx]
+            yb = y[rows, idx]
+            logits = model.forward(xb)
+            _, grad = batched_cross_entropy(logits, yb)
+            # no zero_grad: batched layer backwards assign (not accumulate)
+            model.backward(grad)
+            optimizer.step()
 
 
 class CohortWorkspace:
-    """Flat pools, optimiser state and cohort buffers reused across rounds."""
+    """Flat pools, optimiser state and cohort buffers reused across rounds.
+
+    Example
+    -------
+    >>> from repro.nn.models import MLP
+    >>> workspace = CohortWorkspace(MLP(4, 2, hidden=(3,), seed=0),
+    ...                             num_clients=8)
+    >>> workspace.model.num_clients, workspace.rounds_bound
+    (8, 1)
+    >>> workspace.adopt(MLP(4, 2, hidden=(3,), seed=0), num_clients=8)
+    True
+    """
 
     def __init__(self, template: Module, num_clients: int,
                  dtype: "str | np.dtype" = np.float64):

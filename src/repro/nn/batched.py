@@ -70,6 +70,13 @@ class BatchedParameter:
     client aliasing the template value) and a lazily-allocated grad;
     :meth:`BatchedModel._repack_flat` rebinds both to writable contiguous
     views into the model's flat pools before any training step runs.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> stacked = BatchedParameter(np.zeros((3, 4, 2)))  # 3 clients
+    >>> stacked.shape, stacked.size
+    ((3, 4, 2), 24)
     """
 
     def __init__(self, value: np.ndarray):
@@ -78,6 +85,7 @@ class BatchedParameter:
 
     @property
     def grad(self) -> np.ndarray:
+        """The stacked gradient array (allocated lazily, same shape as value)."""
         if self._grad is None:
             self._grad = np.zeros_like(self.value)
         return self._grad
@@ -88,13 +96,16 @@ class BatchedParameter:
 
     @property
     def shape(self) -> tuple[int, ...]:
+        """Full stacked shape ``(K, *parameter_shape)``."""
         return self.value.shape
 
     @property
     def size(self) -> int:
+        """Total scalars across all client copies."""
         return self.value.size
 
     def zero_grad(self) -> None:
+        """Reset the stacked gradient to zero in place."""
         self.grad.fill(0.0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -401,7 +412,17 @@ _MODEL_CHAINS: dict[type, Callable[[Module], list[Module]]] = {}
 
 def register_layer_vectorizer(layer_type: type,
                               factory: Callable[[Module, int], BatchedLayer]) -> None:
-    """Register a batched implementation for a layer type (subclasses inherit it)."""
+    """Register a batched implementation for a layer type (subclasses inherit it).
+
+    Example
+    -------
+    >>> from repro.nn.layers import ReLU
+    >>> class MyReLU(ReLU):
+    ...     pass
+    >>> register_layer_vectorizer(MyReLU, FoldedLayer)  # subclasses inherit
+    >>> type(vectorize_layer(MyReLU(), num_clients=4)).__name__
+    'FoldedLayer'
+    """
     _LAYER_VECTORIZERS[layer_type] = factory
 
 
@@ -411,6 +432,19 @@ def register_cohort_chain(model_type: type,
 
     Only models whose forward pass is a pure chain of registered layers can
     be vectorized; the chain function must list the layers in forward order.
+
+    Example
+    -------
+    >>> from repro.nn.layers import Linear, ReLU, Sequential
+    >>> from repro.nn.module import Module
+    >>> class TwoLayer(Module):
+    ...     def __init__(self):
+    ...         self.a, self.r, self.b = Linear(4, 8), ReLU(), Linear(8, 2)
+    ...     def forward(self, x):
+    ...         return self.b(self.r(self.a(x)))
+    >>> register_cohort_chain(TwoLayer, lambda m: [m.a, m.r, m.b])
+    >>> BatchedModel(TwoLayer(), num_clients=3).num_clients
+    3
     """
     _MODEL_CHAINS[model_type] = chain
 
@@ -482,6 +516,17 @@ class BatchedModel:
     the bit-identical contract above; ``float32`` is the opt-in fast path:
     half the memory traffic through the pools, with per-client results
     matching the float64 reference only to single-precision tolerance.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.models import MLP
+    >>> model = BatchedModel(MLP(4, 2, hidden=(3,), seed=0), num_clients=5)
+    >>> logits = model.forward(np.zeros((5, 8, 4)))  # (K, B, features)
+    >>> logits.shape
+    (5, 8, 2)
+    >>> model.stacked_state()["net.layers.1.weight"].shape
+    (5, 3, 4)
     """
 
     def __init__(self, template: Module, num_clients: int,
@@ -571,6 +616,7 @@ class BatchedModel:
     # -- forward / backward ---------------------------------------------------
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """All K clients' forward passes over one ``(K, B, …)`` mini-batch."""
         for layer in self.layers:
             x = layer.forward(x)
         return x
@@ -579,6 +625,7 @@ class BatchedModel:
         return self.forward(x)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate through every layer, assigning parameter grads."""
         for layer in reversed(self.layers):
             grad_output = layer.backward(grad_output)
         return grad_output
@@ -586,12 +633,14 @@ class BatchedModel:
     # -- training mode --------------------------------------------------------
 
     def train(self) -> "BatchedModel":
+        """Put the whole batched program into training mode."""
         self.training = True
         for layer in self.layers:
             layer.set_training(True)
         return self
 
     def eval(self) -> "BatchedModel":
+        """Put the whole batched program into evaluation mode."""
         self.training = False
         for layer in self.layers:
             layer.set_training(False)
@@ -600,12 +649,15 @@ class BatchedModel:
     # -- parameters -----------------------------------------------------------
 
     def named_parameters(self) -> list[tuple[str, BatchedParameter]]:
+        """``(template name, batched parameter)`` pairs in template order."""
         return list(self._named)
 
     def parameters(self) -> list[BatchedParameter]:
+        """All batched parameters (in template order)."""
         return [bp for _, bp in self._named]
 
     def zero_grad(self) -> None:
+        """Zero the whole flat gradient pool in place."""
         self.flat_grads.fill(0.0)
 
     # -- state ----------------------------------------------------------------
@@ -670,6 +722,13 @@ class BatchedSGD:
 
     Bit-for-bit equivalent to running :class:`repro.nn.optim.SGD` on each
     client slice independently.
+
+    Example
+    -------
+    >>> from repro.nn.models import MLP
+    >>> model = BatchedModel(MLP(4, 2, hidden=(3,), seed=0), num_clients=2)
+    >>> optimizer = BatchedSGD(model, lr=0.1, momentum=0.9)
+    >>> optimizer.step()  # one fused update for both clients
     """
 
     def __init__(self, model: BatchedModel, lr: float = 0.01, momentum: float = 0.0,
@@ -691,6 +750,7 @@ class BatchedSGD:
                                  dtype=self._values.dtype)
 
     def zero_grad(self) -> None:
+        """Zero the model's flat gradient pool in place."""
         self._grads.fill(0.0)
 
     def reset(self) -> None:
@@ -704,6 +764,7 @@ class BatchedSGD:
             self._velocity.fill(0.0)
 
     def step(self) -> None:
+        """One fused SGD update over the whole cohort pool (cache-blocked)."""
         total = self._values.size
         for start in range(0, total, _OPT_BLOCK):
             block = slice(start, min(start + _OPT_BLOCK, total))
@@ -735,6 +796,14 @@ class BatchedAdam:
     One fused update for all K clients per step; every element sees the exact
     operation sequence of :class:`repro.nn.optim.Adam`, so per-client results
     are bit-identical to the sequential back-end.
+
+    Example
+    -------
+    >>> from repro.nn.models import MLP
+    >>> model = BatchedModel(MLP(4, 2, hidden=(3,), seed=0), num_clients=2)
+    >>> optimizer = BatchedAdam(model, lr=1e-4)
+    >>> optimizer.step()
+    >>> optimizer.reset()  # fresh-optimiser semantics, no reallocation
     """
 
     def __init__(self, model: BatchedModel, lr: float = 1e-4,
@@ -764,6 +833,7 @@ class BatchedAdam:
         self._t = 0
 
     def zero_grad(self) -> None:
+        """Zero the model's flat gradient pool in place."""
         self._grads.fill(0.0)
 
     def reset(self) -> None:
@@ -778,6 +848,7 @@ class BatchedAdam:
         self._t = 0
 
     def step(self) -> None:
+        """One fused Adam update over the whole cohort pool (cache-blocked)."""
         self._t += 1
         bias1 = 1 - self.beta1**self._t
         bias2 = 1 - self.beta2**self._t
@@ -822,6 +893,14 @@ def batched_cross_entropy(logits: np.ndarray, targets: np.ndarray,
     ``grad_logits`` is ready for :meth:`BatchedModel.backward`.  Slice ``k``
     reproduces ``CrossEntropyLoss()(logits[k], targets[k])`` exactly (same
     log-sum-exp arithmetic, same mean normalisation).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> logits = np.zeros((2, 4, 3))  # K=2 clients, B=4, C=3: uniform
+    >>> losses, grad = batched_cross_entropy(logits, np.zeros((2, 4), dtype=int))
+    >>> np.allclose(losses, np.log(3)), grad.shape
+    (True, (2, 4, 3))
     """
     logits = np.asarray(logits)
     if logits.dtype != np.float32:  # float32 cohorts keep their precision
