@@ -17,6 +17,8 @@ Sub-packages
   multi-time selection, parameter search, the secure protocol and overhead
   accounting.
 * :mod:`repro.analysis` — unbiasedness and weight-divergence measurements.
+* :mod:`repro.scenarios` — fault injection (churn, stragglers, dropouts,
+  label drift) with partial-round aggregation and robustness reports.
 
 Quickstart
 ----------
@@ -52,6 +54,7 @@ from .data import (
     make_uniform_test_set,
 )
 from .federated import FederatedConfig, FederatedSimulation, LocalTrainingConfig
+from .scenarios import ScenarioSpec, run_scenario
 
 __version__ = "1.0.0"
 
@@ -66,6 +69,7 @@ __all__ = [
     "LocalTrainingConfig",
     "RandomSelector",
     "RegistryCodebook",
+    "ScenarioSpec",
     "SecureRegistrationRound",
     "__version__",
     "generate_keypair",
@@ -75,6 +79,7 @@ __all__ = [
     "make_synthetic_mnist",
     "make_uniform_test_set",
     "quick_federation",
+    "run_scenario",
     "search_thresholds",
 ]
 

@@ -17,13 +17,20 @@ Public API
 * :class:`CohortScheduler` — the multi-cohort process fleet behind
   ``executor_mode="parallel"`` (shared-memory pools, warm per-worker
   workspaces, deterministic merge).
-* :class:`FederatedSimulation`, :class:`FederatedConfig` — the round loop.
-* :class:`TrainingHistory`, :class:`RoundRecord` — per-round metrics.
+* :class:`FederatedSimulation`, :class:`FederatedConfig` — the round loop
+  (``FederatedConfig(scenario=...)`` opts into :mod:`repro.scenarios` fault
+  injection with partial-round aggregation).
+* :func:`partial_round_weights` — survivor-normalised FedAvg weights of a
+  (possibly partial) round.
+* :class:`TrainingHistory`, :class:`RoundRecord` — per-round metrics,
+  including planned-vs-actual participation and failure causes under a
+  scenario.
 """
 
 from .aggregation import (
     StackedClientStates,
     average_states,
+    partial_round_weights,
     state_difference_norm,
     weighted_average_states,
 )
@@ -52,6 +59,7 @@ __all__ = [
     "StackedClientStates",
     "TrainingHistory",
     "average_states",
+    "partial_round_weights",
     "shared_pool",
     "state_difference_norm",
     "train_cohort",

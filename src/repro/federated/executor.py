@@ -127,6 +127,12 @@ class LocalUpdateExecutor:
         self.scheduler_timeout = scheduler_timeout
         #: why the most recent cohort round fell back (or None)
         self.last_fallback_reason: Optional[str] = None
+        #: injected failures of the most recent round: cohort position -> cause
+        #: ("dropout" mid-round, "straggler" past the collection deadline)
+        self.last_round_failures: dict[int, str] = {}
+        #: simulated round duration of the most recent round (the slowest
+        #: surviving straggler's delay; 0.0 without injected stragglers)
+        self.last_round_delay: float = 0.0
         #: the round-persistent cohort state, built lazily on the first
         #: vectorized round and reused while rounds stay shape-compatible
         self.workspace: Optional[CohortWorkspace] = None
@@ -155,8 +161,23 @@ class LocalUpdateExecutor:
                   model_factory: Callable[[], Module],
                   global_state: StateDict,
                   config: LocalTrainingConfig,
-                  round_index: int = 0) -> list[StateDict]:
+                  round_index: int = 0,
+                  faults: "Optional[CohortFaults]" = None) -> list[StateDict]:
         """Train every client in *clients* from *global_state*; return their states.
+
+        *faults* (a :class:`repro.scenarios.CohortFaults`, position-keyed)
+        opts into per-client failure injection: clients marked as dropouts
+        fail mid-round, and stragglers whose simulated delay exceeds the
+        fault plan's collection deadline are dropped as ``"straggler"``.
+        The returned list then covers only the *survivors*, in cohort order;
+        :attr:`last_round_failures` maps the failed positions to their cause
+        and :attr:`last_round_delay` reports the simulated round duration.
+        The cohort back-ends train the full cohort and discard the failed
+        rows (a real dropout wastes its local compute too — and keeping the
+        cohort geometry stable preserves the round-persistent workspace),
+        while the sequential/pool back-ends skip failed clients outright.
+        Without *faults* (or with an empty plan) behaviour is bit-identical
+        to before.
 
         Example
         -------
@@ -164,61 +185,102 @@ class LocalUpdateExecutor:
         >>> executor.run_round([], lambda: None, {}, LocalTrainingConfig())
         []
         """
+        self.last_round_failures = {}
+        self.last_round_delay = 0.0
         if not clients:
             return []
+        failed: dict[int, str] = {}
+        if faults is not None:
+            failed = faults.resolve()
+            failed = {p: c for p, c in failed.items() if p < len(clients)}
+            self.last_round_failures = failed
+            self.last_round_delay = faults.round_delay()
         if self.mode == "parallel":
             self.last_fallback_reason = None
             try:
-                return self._run_parallel(clients, model_factory, global_state,
-                                          config, round_index)
+                states = self._run_parallel(clients, model_factory, global_state,
+                                            config, round_index)
+                # the scheduler counts the whole cohort; align participation
+                # bookkeeping with the other back-ends (failed != participated)
+                for position in failed:
+                    clients[position].rounds_participated -= 1
+                return self._filter_survivors(states, failed)
             except (SchedulerError, UnvectorizableModelError,
                     CohortShapeError) as exc:
                 self.last_fallback_reason = str(exc)
                 try:
                     return self._run_vectorized(clients, model_factory,
-                                                global_state, config, round_index)
+                                                global_state, config, round_index,
+                                                failed=failed)
                 except (UnvectorizableModelError, CohortShapeError) as inner:
                     self.last_fallback_reason = (
                         f"{exc}; vectorized fallback failed: {inner}"
                     )
                     return self._run_sequential(clients, model_factory,
-                                                global_state, config, round_index)
+                                                global_state, config, round_index,
+                                                failed=failed)
         if self.mode == "vectorized":
             self.last_fallback_reason = None
             try:
                 return self._run_vectorized(clients, model_factory, global_state,
-                                            config, round_index)
+                                            config, round_index, failed=failed)
             except (UnvectorizableModelError, CohortShapeError) as exc:
                 self.last_fallback_reason = str(exc)
                 return self._run_sequential(clients, model_factory, global_state,
-                                            config, round_index)
+                                            config, round_index, failed=failed)
         if self.mode == "sequential":
             return self._run_sequential(clients, model_factory, global_state,
-                                        config, round_index)
+                                        config, round_index, failed=failed)
         pool_cls = ThreadPoolExecutor if self.mode == "thread" else ProcessPoolExecutor
         with pool_cls(max_workers=self.max_workers) as pool:
             futures = [
                 pool.submit(_run_local_update, client, model_factory(), global_state,
                             config, round_index)
-                for client in clients
+                for position, client in enumerate(clients)
+                if position not in failed
             ]
             return [f.result() for f in futures]
 
     # -- back-ends -------------------------------------------------------------
 
+    def _filter_survivors(self, states: "list[StateDict]",
+                          failed: "dict[int, str]") -> "list[StateDict]":
+        """Drop the failed positions from a full-cohort result.
+
+        The no-fault case returns *states* untouched (no copies), preserving
+        the zero-fault identity; with faults, stacked results are re-stacked
+        over the survivor rows so aggregation's mean-over-client-axis fast
+        path covers exactly the survivors.
+        """
+        if not failed:
+            return states
+        keep = [i for i in range(len(states)) if i not in failed]
+        if isinstance(states, StackedClientStates):
+            idx = np.asarray(keep, dtype=int)
+            stacked = {name: value[idx] for name, value in states.stacked.items()}
+            per_client = [{name: stacked[name][j] for name in stacked}
+                          for j in range(len(keep))]
+            return StackedClientStates(per_client, stacked)
+        return [states[i] for i in keep]
+
     def _run_sequential(self, clients: Sequence[FederatedClient],
                         model_factory: Callable[[], Module],
                         global_state: StateDict, config: LocalTrainingConfig,
-                        round_index: int) -> list[StateDict]:
+                        round_index: int,
+                        failed: "Optional[dict[int, str]]" = None) -> list[StateDict]:
+        failed = failed or {}
         return [
             _run_local_update(client, model_factory(), global_state, config, round_index)
-            for client in clients
+            for position, client in enumerate(clients)
+            if position not in failed
         ]
 
     def _run_vectorized(self, clients: Sequence[FederatedClient],
                         model_factory: Callable[[], Module],
                         global_state: StateDict, config: LocalTrainingConfig,
-                        round_index: int) -> StackedClientStates:
+                        round_index: int,
+                        failed: "Optional[dict[int, str]]" = None,
+                        ) -> StackedClientStates:
         """Train the whole cohort as one batched tensor program.
 
         Replays the exact sequential schedule — per-client epoch permutations
@@ -226,7 +288,11 @@ class LocalUpdateExecutor:
         same batch boundaries, same optimiser arithmetic — with the client
         loop folded into a leading tensor axis.  All round-scoped state lives
         in the persistent :class:`CohortWorkspace`; a shape-compatible round
-        allocates no new pools.
+        allocates no new pools.  Injected *failed* positions still train
+        (every client's row is arithmetically independent, and a stable
+        cohort size keeps the workspace warm) but their rows are discarded
+        from the returned stack — so the survivors are bit-identical to a
+        sequential round that never trained the failed clients at all.
         """
         template = model_factory()
         workspace = self.workspace
@@ -251,9 +317,13 @@ class LocalUpdateExecutor:
         ]
         train_cohort(batched, optimizer, x, y, rngs, config,
                      rows=workspace.client_rows)
-        for client in clients:
-            client.rounds_participated += 1
-        return StackedClientStates(batched.state_dicts(), batched.stacked_state())
+        failed = failed or {}
+        for position, client in enumerate(clients):
+            if position not in failed:
+                client.rounds_participated += 1
+        return self._filter_survivors(
+            StackedClientStates(batched.state_dicts(), batched.stacked_state()),
+            failed)
 
     def _run_parallel(self, clients: Sequence[FederatedClient],
                       model_factory: Callable[[], Module],

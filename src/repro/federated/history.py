@@ -9,7 +9,7 @@ those series so every benchmark reads its numbers from one place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -20,14 +20,27 @@ __all__ = ["RoundRecord", "TrainingHistory"]
 class RoundRecord:
     """Everything measured about one federated round.
 
+    ``selected_clients`` is the *planned* cohort (the selector's output);
+    under a fault-injection scenario (:mod:`repro.scenarios`) the round may
+    aggregate fewer: ``actual_clients`` are the survivors whose updates were
+    aggregated (``None`` in scenario-free runs, meaning planned == actual),
+    ``failures`` maps each failed client to its cause (one of
+    :data:`repro.scenarios.FAILURE_CAUSES`), ``aggregation_skipped`` flags a
+    round that fell below the participation threshold (global model carried
+    forward), and ``actual_population_bias`` is ``||p_o − p_u||₁`` over the
+    survivors (``NaN`` when nobody survived).  ``fallback_reason`` surfaces
+    :attr:`repro.federated.LocalUpdateExecutor.last_fallback_reason`, so a
+    silent back-end degradation (parallel → vectorized → sequential) is
+    visible in the run history rather than only on the executor object.
+
     Example
     -------
     >>> import numpy as np
     >>> record = RoundRecord(round_index=0, selected_clients=(3, 1),
     ...                      population_distribution=np.array([0.5, 0.5]),
     ...                      population_bias=0.0, test_accuracy=0.9)
-    >>> record.selected_clients
-    (3, 1)
+    >>> record.selected_clients, record.participants, record.failures
+    ((3, 1), (3, 1), {})
     """
 
     round_index: int
@@ -36,6 +49,25 @@ class RoundRecord:
     population_bias: float            # ||p_o − p_u||₁ of this round's selection
     test_accuracy: Optional[float]    # None when evaluation was skipped this round
     train_loss: Optional[float] = None
+    #: survivors actually aggregated; None = scenario-free (== selected)
+    actual_clients: Optional[tuple[int, ...]] = None
+    #: failed client id -> cause ("offline", "dropout", "straggler", ...)
+    failures: Mapping[int, str] = field(default_factory=dict)
+    #: why the executor degraded its back-end this round (or None)
+    fallback_reason: Optional[str] = None
+    #: True when survivors fell below the scenario's participation threshold
+    aggregation_skipped: bool = False
+    #: ||p_o − p_u||₁ over the survivors (None = scenario-free, NaN = nobody)
+    actual_population_bias: Optional[float] = None
+    #: simulated round duration contributed by surviving stragglers (seconds)
+    round_delay: float = 0.0
+    #: True when a label-drift event re-registered clients before this round
+    drift_applied: bool = False
+
+    @property
+    def participants(self) -> tuple[int, ...]:
+        """The clients whose updates were aggregated this round."""
+        return self.selected_clients if self.actual_clients is None else self.actual_clients
 
 
 @dataclass
@@ -85,6 +117,37 @@ class TrainingHistory:
             for k in r.selected_clients:
                 counts[k] += 1
         return counts
+
+    # -- fault-injection series (scenario runs) ------------------------------------
+
+    def actual_population_biases(self) -> np.ndarray:
+        """``||p_o − p_u||₁`` over each round's *aggregated* survivors.
+
+        Scenario-free rounds report the planned bias (survivors == planned);
+        rounds that aggregated nobody report ``NaN``.
+        """
+        return np.array([
+            r.population_bias if r.actual_population_bias is None
+            else r.actual_population_bias
+            for r in self.records
+        ])
+
+    def failure_totals(self) -> "dict[str, int]":
+        """Injected client-round faults over the whole run, keyed by cause."""
+        totals: dict[str, int] = {}
+        for r in self.records:
+            for cause in r.failures.values():
+                totals[cause] = totals.get(cause, 0) + 1
+        return totals
+
+    def skipped_round_count(self) -> int:
+        """Rounds whose aggregation was skipped (below the participation floor)."""
+        return sum(1 for r in self.records if r.aggregation_skipped)
+
+    def fallback_reasons(self) -> "list[tuple[int, str]]":
+        """Rounds on which the executor degraded its back-end, with the reason."""
+        return [(r.round_index, r.fallback_reason) for r in self.records
+                if r.fallback_reason is not None]
 
     # -- reductions ----------------------------------------------------------------
 

@@ -58,6 +58,10 @@ class FederatedServer:
         self.aggregation = aggregation
         self.eval_backend = eval_backend
         self.rounds_completed = 0
+        #: rounds whose aggregation was skipped (survivors below the floor)
+        self.rounds_skipped = 0
+        #: whether the most recent :meth:`aggregate` call skipped the round
+        self.last_aggregation_skipped = False
         self._evaluator: Optional[BatchedEvaluator] = None
         #: why batched evaluation is unavailable for this model (or None)
         self.eval_fallback_reason: Optional[str] = None
@@ -75,13 +79,38 @@ class FederatedServer:
         return self.global_model.state_dict(copy=copy)
 
     def aggregate(self, client_states: Sequence[StateDict],
-                  client_weights: Sequence[float] | None = None) -> StateDict:
+                  client_weights: Sequence[float] | None = None,
+                  expected_count: Optional[int] = None,
+                  min_participation: float = 0.0) -> StateDict:
         """Aggregate client updates into the new global model.
 
         With ``aggregation == "uniform"`` this is eq. (1) (virtual clients of
         equal size); with ``"weighted"`` the classical sample-weighted FedAvg
-        is used and *client_weights* must be given.
+        is used and *client_weights* must be given (one weight per state; the
+        weights are normalised over the states present, so a partial round
+        stays a convex combination of the updates that arrived).
+
+        *expected_count* opts into **partial-round aggregation** (the
+        fault-injection path): it is the planned cohort size, of which only
+        ``len(client_states)`` survivors reported back.  When the survivor
+        fraction falls below *min_participation* — or nobody survived — the
+        round is *skipped*: the global model is carried forward unchanged,
+        :attr:`rounds_skipped` is incremented and
+        :attr:`last_aggregation_skipped` is set, and the (unchanged) global
+        state is returned.  Without *expected_count* an empty update list is
+        a caller bug and raises, exactly as before.
         """
+        self.last_aggregation_skipped = False
+        if expected_count is not None:
+            if expected_count < 1:
+                raise ValueError("expected_count must be positive when given")
+            if not 0.0 <= min_participation <= 1.0:
+                raise ValueError("min_participation must lie in [0, 1]")
+            participation = len(client_states) / expected_count
+            if not client_states or participation < min_participation:
+                self.rounds_skipped += 1
+                self.last_aggregation_skipped = True
+                return self.global_state()
         if not client_states:
             raise ValueError("no client updates to aggregate")
         if self.aggregation == "uniform":

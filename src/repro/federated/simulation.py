@@ -27,6 +27,8 @@ from ..data.distributions import emd, uniform_distribution
 from ..data.partition import ClientPartition
 from ..data.synthetic import SyntheticImageGenerator
 from ..nn.module import Module
+from ..scenarios.engine import FaultInjector
+from ..scenarios.spec import ScenarioSpec
 from .client import FederatedClient, LocalTrainingConfig
 from .executor import LocalUpdateExecutor
 from .history import RoundRecord, TrainingHistory
@@ -64,7 +66,12 @@ class FederatedConfig:
     cohort-only fast path with single-precision tolerance.
     ``eval_backend`` picks the server's test pass
     (``"batched"``/``"sequential"``, identical metrics; see
-    :class:`repro.federated.FederatedServer`).
+    :class:`repro.federated.FederatedServer`).  ``scenario`` opts the run
+    into fault injection (:class:`repro.scenarios.ScenarioSpec`): churn,
+    availability, stragglers, dropouts and label drift, with partial-round
+    aggregation below the spec's participation floor.  ``None`` (default)
+    and the empty ``ScenarioSpec()`` both leave the run bit-identical to a
+    fault-free one.
 
     Example
     -------
@@ -85,6 +92,7 @@ class FederatedConfig:
     shard_policy: str = "contiguous"
     scheduler_timeout: Optional[float] = 120.0
     seed: Optional[int] = None
+    scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -118,6 +126,8 @@ class FederatedConfig:
             raise ValueError("scheduler_timeout must be positive (or None)")
         if self.eval_backend not in EVAL_BACKENDS:
             raise ValueError(f"eval_backend must be one of {EVAL_BACKENDS}")
+        if self.scenario is not None and not isinstance(self.scenario, ScenarioSpec):
+            raise TypeError("scenario must be a ScenarioSpec (or None)")
 
 
 class FederatedSimulation:
@@ -169,6 +179,15 @@ class FederatedSimulation:
         self._clients: dict[int, FederatedClient] = {}
         self._rng = np.random.default_rng(self.config.seed)
         self.history = TrainingHistory()
+        #: the scenario's fault engine (None = fault-free run); its RNG
+        #: streams are keyed by (scenario seed, round, client), independent
+        #: of every other generator in the simulation
+        self.injector: Optional[FaultInjector] = (
+            None if self.config.scenario is None
+            else FaultInjector(self.config.scenario)
+        )
+        #: how many label-drift events have fired (salts regenerated data)
+        self._drift_events = 0
 
     # -- client materialisation ----------------------------------------------------
 
@@ -177,6 +196,9 @@ class FederatedSimulation:
         if index not in self._clients:
             counts = self.partition.client_class_counts[index]
             data_seed = (0 if self.config.seed is None else self.config.seed) + 100_003 * index
+            # drifted data is *new* data, not a reshuffle: salt the stream per
+            # drift event (zero events leaves the seed — and the run — unchanged)
+            data_seed += 999_999_937 * self._drift_events
 
             def factory(counts=counts, data_seed=data_seed) -> ArrayDataset:
                 return self.generator.generate(counts, rng=np.random.default_rng(data_seed))
@@ -193,22 +215,66 @@ class FederatedSimulation:
     # -- round loop -------------------------------------------------------------------
 
     def run_round(self, round_index: int) -> RoundRecord:
-        """Run one complete round: select, train locally, aggregate, evaluate."""
+        """Run one complete round: select, train locally, aggregate, evaluate.
+
+        Under a scenario (:attr:`FederatedConfig.scenario`) the round first
+        applies any due label-drift event, then filters the selected cohort
+        through the injector's :class:`~repro.scenarios.RoundPlan`
+        (availability and churn strike before any compute), hands the
+        mid-round faults to the executor, and aggregates only the survivors
+        — or skips aggregation entirely when they fall below the scenario's
+        ``min_participation`` floor.  The resulting
+        :class:`~repro.federated.history.RoundRecord` carries the full
+        planned-vs-actual story.
+        """
+        drift_applied = False
+        if self.injector is not None and self.injector.drift_due(round_index):
+            self._apply_drift()
+            drift_applied = True
+
         selected = list(self.selector.select(round_index))
         if len(selected) == 0:
             raise RuntimeError(f"selector returned no clients at round {round_index}")
         population = self.partition.selection_population(selected)
         bias = emd(population, self._uniform)
 
-        clients = [self.client(k) for k in selected]
+        faults = None
+        trainable = selected
+        plan = None
+        if self.injector is not None:
+            plan = self.injector.plan_round(round_index, selected)
+            trainable = list(plan.trainable)
+            faults = plan.cohort_faults()
+
+        clients = [self.client(k) for k in trainable]
         # read-only views: every executor back-end copies the state on load,
         # so one shared global state serves all K workers without K deep copies
         global_state = self.server.global_state(copy=False)
         states = self.executor.run_round(
             clients, self.server.new_client_model, global_state, self.config.local,
-            round_index=round_index,
+            round_index=round_index, faults=faults,
         )
-        self.server.aggregate(states)
+
+        actual_clients: Optional[tuple[int, ...]] = None
+        failures: dict[int, str] = {}
+        actual_bias: Optional[float] = None
+        if self.injector is None:
+            self.server.aggregate(states)
+        else:
+            failures = dict(plan.failures_by_client())
+            for position, cause in self.executor.last_round_failures.items():
+                failures[trainable[position]] = cause
+            actual_clients = tuple(k for k in trainable if k not in failures)
+            self.server.aggregate(
+                states,
+                expected_count=len(selected),
+                min_participation=self.config.scenario.min_participation,
+            )
+            actual_bias = (
+                float("nan") if not actual_clients
+                else emd(self.partition.selection_population(actual_clients),
+                         self._uniform)
+            )
 
         accuracy: Optional[float] = None
         if round_index % self.config.eval_every == 0:
@@ -220,9 +286,79 @@ class FederatedSimulation:
             population_distribution=population,
             population_bias=bias,
             test_accuracy=accuracy,
+            actual_clients=actual_clients,
+            failures=failures,
+            fallback_reason=self.executor.last_fallback_reason,
+            aggregation_skipped=self.server.last_aggregation_skipped,
+            actual_population_bias=actual_bias,
+            round_delay=self.executor.last_round_delay,
+            drift_applied=drift_applied,
         )
         self.history.append(record)
         return record
+
+    # -- label drift ----------------------------------------------------------------
+
+    def _apply_drift(self) -> None:
+        """Rotate every client's label counts and re-register the federation.
+
+        Implements the scenario's :class:`~repro.scenarios.DriftSpec`: each
+        client's per-class sample counts shift by ``drift.shift`` positions,
+        the cached clients and pooled datasets are invalidated (their data is
+        regenerated from the drifted counts on next selection), and the
+        selector re-registers against the new distributions — through
+        :meth:`repro.core.DubheSelector.refresh_registrations` when
+        available, else by updating its ``client_distributions``.  With
+        ``drift.secure_reregistration`` the refresh also runs the encrypted
+        registration round and checks it against the plaintext registry.
+        """
+        spec = self.config.scenario
+        assert spec is not None  # only called on scenario runs
+        counts = np.roll(self.partition.client_class_counts, spec.drift.shift, axis=1)
+        self.partition = ClientPartition(counts, self.partition.num_classes,
+                                         metadata=dict(self.partition.metadata))
+        self._drift_events += 1
+        self._clients.clear()
+        if self.dataset_cache is not None:
+            self.dataset_cache.clear()
+        distributions = self.partition.client_distributions()
+        if hasattr(self.selector, "refresh_registrations"):
+            self.selector.refresh_registrations(distributions)
+        elif hasattr(self.selector, "client_distributions"):
+            self.selector.client_distributions = distributions
+        if spec.drift.secure_reregistration:
+            self._verify_secure_reregistration(distributions)
+
+    def _verify_secure_reregistration(self, distributions: np.ndarray) -> None:
+        """Run the encrypted registration round and check it against plaintext.
+
+        Requires a Dubhe-style selector (one carrying a
+        :class:`~repro.core.DubheConfig` and plaintext registrations); the
+        encrypted round runs with the drift spec's ``key_size`` and its
+        decrypted overall registry must equal the plaintext sum exactly —
+        Paillier aggregation of integer registries is lossless.
+        """
+        import dataclasses
+
+        from ..core.secure import SecureRegistrationRound
+
+        config = getattr(self.selector, "config", None)
+        registrations = getattr(self.selector, "registrations", None)
+        if config is None or registrations is None:
+            raise RuntimeError(
+                "secure_reregistration needs a Dubhe selector (with .config "
+                "and .registrations); got "
+                f"{type(self.selector).__name__}"
+            )
+        drift = self.config.scenario.drift
+        round_config = dataclasses.replace(config, key_size=drift.key_size)
+        overall, _, _ = SecureRegistrationRound(round_config).run(distributions)
+        expected = np.sum([r.registry for r in registrations], axis=0)
+        if not np.array_equal(overall, expected):
+            raise RuntimeError(
+                "decrypted overall registry does not match the plaintext "
+                "re-registration"
+            )
 
     def run(self, rounds: Optional[int] = None, progress: Optional[Callable[[RoundRecord], None]] = None,
             ) -> TrainingHistory:

@@ -1,0 +1,57 @@
+"""Scenario engine: fault injection for federated runs (churn, stragglers,
+dropouts, label drift) with partial-round aggregation.
+
+Public API
+----------
+* :class:`ScenarioSpec` and its parts — :class:`AvailabilitySpec`,
+  :class:`ChurnSpec`, :class:`StragglerSpec`, :class:`DropoutSpec`,
+  :class:`DriftSpec` — declarative, validated fault descriptions.
+* :class:`FaultInjector`, :class:`RoundPlan`, :class:`ClientFault`,
+  :class:`CohortFaults`, :data:`FAILURE_CAUSES` — the seeded engine that
+  turns a spec into reproducible per-round decisions.
+* :func:`run_scenario`, :func:`compare_selectors`,
+  :class:`ScenarioReport` — robustness measured in the paper's own metrics
+  (population EMD, accuracy per selection strategy).
+
+A :class:`ScenarioSpec` plugs into
+:class:`repro.federated.FederatedConfig(scenario=...)
+<repro.federated.FederatedConfig>`; the round loop consults the injector,
+the executor drops late/failed clients, and the server aggregates the
+partial round (or skips it below the participation threshold).  The empty
+``ScenarioSpec()`` is guaranteed to leave every executor back-end
+bit-identical to a scenario-free run.
+"""
+
+from .engine import (
+    FAILURE_CAUSES,
+    ClientFault,
+    CohortFaults,
+    FaultInjector,
+    RoundPlan,
+)
+from .report import ScenarioReport, compare_selectors, run_scenario
+from .spec import (
+    AvailabilitySpec,
+    ChurnSpec,
+    DriftSpec,
+    DropoutSpec,
+    ScenarioSpec,
+    StragglerSpec,
+)
+
+__all__ = [
+    "AvailabilitySpec",
+    "ChurnSpec",
+    "ClientFault",
+    "CohortFaults",
+    "DriftSpec",
+    "DropoutSpec",
+    "FAILURE_CAUSES",
+    "FaultInjector",
+    "RoundPlan",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "StragglerSpec",
+    "compare_selectors",
+    "run_scenario",
+]

@@ -1,0 +1,330 @@
+"""Declarative, validated scenario specifications for fault injection.
+
+The paper evaluates Dubhe in a static world: a fixed client population,
+static label skew, and every selected client finishing every round.
+Production federated systems are defined by the opposite — devices go
+offline, new devices enrol, selected clients straggle past the round
+deadline or drop out mid-update, and the data on a device drifts over time.
+A :class:`ScenarioSpec` describes one such world declaratively; the seeded
+:class:`~repro.scenarios.engine.FaultInjector` turns it into reproducible
+per-round fault decisions that the
+:class:`~repro.federated.FederatedSimulation` round loop consults.
+
+Every spec is an immutable dataclass validated on construction, so a typo'd
+probability or an inverted churn window fails at build time rather than ten
+rounds into a run.  The **zero-fault identity** is the design anchor: an
+empty ``ScenarioSpec()`` injects nothing, and a simulation configured with
+one produces results bit-identical to a simulation with no scenario at all
+(asserted by the test suite for every executor back-end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = [
+    "AvailabilitySpec",
+    "ChurnSpec",
+    "DriftSpec",
+    "DropoutSpec",
+    "ScenarioSpec",
+    "StragglerSpec",
+]
+
+
+def _normalized_schedule(schedule: Mapping[int, object], what: str,
+                         ) -> "dict[int, tuple[int, ...]]":
+    """Validate a ``round -> client ids`` mapping into sorted int tuples."""
+    normalized: dict[int, tuple[int, ...]] = {}
+    for round_index, clients in dict(schedule).items():
+        r = int(round_index)
+        if r < 0:
+            raise ValueError(f"{what} round indices must be >= 0, got {r}")
+        ids = tuple(sorted(int(c) for c in clients))  # type: ignore[call-overload]
+        if any(c < 0 for c in ids):
+            raise ValueError(f"{what} client ids must be >= 0")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"{what} lists client ids more than once in round {r}")
+        normalized[r] = ids
+    return normalized
+
+
+def _normalized_rounds(rounds: Mapping[int, int], what: str) -> "dict[int, int]":
+    """Validate a ``client id -> round`` mapping into plain ints."""
+    normalized: dict[int, int] = {}
+    for client_id, round_index in dict(rounds).items():
+        c, r = int(client_id), int(round_index)
+        if c < 0:
+            raise ValueError(f"{what} client ids must be >= 0")
+        if r < 0:
+            raise ValueError(f"{what} rounds must be >= 0")
+        normalized[c] = r
+    return normalized
+
+
+def _check_probability(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class AvailabilitySpec:
+    """Time-varying client availability.
+
+    ``offline_probability`` is the per-(client, round) chance that a selected
+    client happens to be unreachable when the round starts (its update is
+    never requested); ``down_rounds`` schedules deterministic outages as a
+    ``round -> client ids`` mapping (e.g. a nightly reboot window).  Both
+    remove the client *before* training, so no compute is wasted on it.
+
+    Example
+    -------
+    >>> spec = AvailabilitySpec(offline_probability=0.1, down_rounds={3: (0, 7)})
+    >>> spec.down_rounds[3]
+    (0, 7)
+    """
+
+    offline_probability: float = 0.0
+    down_rounds: Mapping[int, tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_probability(self.offline_probability, "offline_probability")
+        object.__setattr__(self, "down_rounds",
+                           _normalized_schedule(self.down_rounds, "down_rounds"))
+
+    def is_empty(self) -> bool:
+        """Whether this spec can never take a client offline.
+
+        Example
+        -------
+        >>> AvailabilitySpec().is_empty()
+        True
+        """
+        return self.offline_probability == 0.0 and not self.down_rounds
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Client churn: devices joining and leaving the federation mid-run.
+
+    ``joins`` maps a client id to the first round it is part of the
+    federation (selected earlier, it fails with cause ``"not_joined"``);
+    ``leaves`` maps a client id to the first round it is gone (from then on
+    it fails with cause ``"left"``).  Clients in neither mapping are present
+    for the whole run.  A client listed in both must join before it leaves.
+
+    Example
+    -------
+    >>> churn = ChurnSpec(joins={11: 2}, leaves={4: 3})
+    >>> churn.joins[11], churn.leaves[4]
+    (2, 3)
+    """
+
+    joins: Mapping[int, int] = field(default_factory=dict)
+    leaves: Mapping[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        joins = _normalized_rounds(self.joins, "joins")
+        leaves = _normalized_rounds(self.leaves, "leaves")
+        for client_id, leave_round in leaves.items():
+            join_round = joins.get(client_id, 0)
+            if leave_round <= join_round:
+                raise ValueError(
+                    f"client {client_id} leaves at round {leave_round} but only "
+                    f"joins at round {join_round}"
+                )
+        object.__setattr__(self, "joins", joins)
+        object.__setattr__(self, "leaves", leaves)
+
+    def is_empty(self) -> bool:
+        """Whether no client ever joins late or leaves early.
+
+        Example
+        -------
+        >>> ChurnSpec().is_empty()
+        True
+        """
+        return not self.joins and not self.leaves
+
+
+@dataclass(frozen=True)
+class StragglerSpec:
+    """Stragglers: clients whose (simulated) local update runs long.
+
+    Each surviving selected client straggles with ``probability``; a
+    straggler's simulated delay is drawn from an exponential distribution
+    with mean ``mean_delay`` (seconds of simulated wall-time, not real
+    sleeping).  ``deadline`` is the round's collection deadline: a straggler
+    whose delay exceeds it is dropped by the executor with cause
+    ``"straggler"`` (its update arrives too late to aggregate); ``None``
+    waits forever, so stragglers only stretch the simulated round duration.
+
+    Example
+    -------
+    >>> spec = StragglerSpec(probability=0.2, mean_delay=5.0, deadline=8.0)
+    >>> spec.deadline
+    8.0
+    """
+
+    probability: float = 0.0
+    mean_delay: float = 0.0
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability, "straggler probability")
+        if self.mean_delay < 0:
+            raise ValueError("mean_delay must be >= 0")
+        if self.probability > 0 and self.mean_delay == 0:
+            raise ValueError("straggling clients need mean_delay > 0")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+
+    def is_empty(self) -> bool:
+        """Whether no client ever straggles.
+
+        Example
+        -------
+        >>> StragglerSpec().is_empty()
+        True
+        """
+        return self.probability == 0.0
+
+
+@dataclass(frozen=True)
+class DropoutSpec:
+    """Mid-round dropouts: clients that start training but never report back.
+
+    Each surviving selected client drops out with ``probability``; its local
+    compute is wasted (exactly as in a real deployment) and its update is
+    excluded from aggregation with cause ``"dropout"``.
+
+    Example
+    -------
+    >>> DropoutSpec(probability=0.05).probability
+    0.05
+    """
+
+    probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability, "dropout probability")
+
+    def is_empty(self) -> bool:
+        """Whether no client ever drops out.
+
+        Example
+        -------
+        >>> DropoutSpec().is_empty()
+        True
+        """
+        return self.probability == 0.0
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Label-distribution drift over rounds (stresses re-registration).
+
+    Every ``period`` rounds (at rounds ``period, 2·period, …``) each
+    client's per-class sample counts rotate by ``shift`` class positions —
+    the canonical label-drift model: the classes a client dominates change
+    while its skew *profile* is preserved.  The simulation then regenerates
+    client data from the drifted counts and re-runs Dubhe registration
+    through :mod:`repro.core.registry` — the paper's periodic
+    re-registration, which its static evaluation never exercises.  With
+    ``secure_reregistration`` the refresh additionally runs the full
+    encrypted path (:class:`repro.core.secure.SecureRegistrationRound`,
+    with a ``key_size``-bit round key) and asserts the decrypted aggregate
+    registry matches the plaintext one.
+
+    Example
+    -------
+    >>> drift = DriftSpec(period=10, shift=2)
+    >>> drift.period, drift.shift
+    (10, 2)
+    """
+
+    period: int = 0
+    shift: int = 1
+    secure_reregistration: bool = False
+    key_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.period < 0:
+            raise ValueError("period must be >= 0 (0 disables drift)")
+        if self.period > 0 and self.shift == 0:
+            raise ValueError("drift with period > 0 needs a non-zero shift")
+        if self.key_size < 16:
+            raise ValueError("key_size too small")
+
+    def is_empty(self) -> bool:
+        """Whether the label distributions never drift.
+
+        Example
+        -------
+        >>> DriftSpec().is_empty()
+        True
+        """
+        return self.period == 0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative fault-injection scenario.
+
+    Composes availability, churn, stragglers, dropouts and label drift, plus
+    the partial-round aggregation policy: ``min_participation`` is the
+    fraction of the *planned* cohort that must survive for the round to be
+    aggregated — below it the round is skipped and the global model carried
+    forward unchanged.  ``seed`` makes every injected fault reproducible:
+    each decision is drawn from an RNG keyed by
+    ``(seed, round_index, client_id)``, so repeated runs — and runs on
+    different executor back-ends — see identical faults.
+
+    The default ``ScenarioSpec()`` is empty: it injects nothing and leaves
+    every back-end bit-identical to a scenario-free run.
+
+    Example
+    -------
+    >>> spec = ScenarioSpec(dropouts=DropoutSpec(probability=0.1), seed=7)
+    >>> spec.is_empty(), ScenarioSpec().is_empty()
+    (False, True)
+    """
+
+    availability: AvailabilitySpec = field(default_factory=AvailabilitySpec)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    stragglers: StragglerSpec = field(default_factory=StragglerSpec)
+    dropouts: DropoutSpec = field(default_factory=DropoutSpec)
+    drift: DriftSpec = field(default_factory=DriftSpec)
+    min_participation: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name, cls in (("availability", AvailabilitySpec),
+                          ("churn", ChurnSpec),
+                          ("stragglers", StragglerSpec),
+                          ("dropouts", DropoutSpec),
+                          ("drift", DriftSpec)):
+            if not isinstance(getattr(self, name), cls):
+                raise TypeError(f"{name} must be a {cls.__name__}")
+        _check_probability(self.min_participation, "min_participation")
+        if int(self.seed) != self.seed:
+            raise ValueError("seed must be an integer")
+        if self.seed < 0:
+            raise ValueError("seed must be >= 0 (SeedSequence entropy)")
+
+    def is_empty(self) -> bool:
+        """Whether this scenario injects no fault of any kind.
+
+        An empty scenario is the zero-fault identity: the round loop takes
+        the scenario-aware code path, but every decision is a no-op and the
+        run stays bit-identical to a scenario-free one.
+
+        Example
+        -------
+        >>> ScenarioSpec(min_participation=0.5).is_empty()
+        True
+        """
+        return (self.availability.is_empty() and self.churn.is_empty()
+                and self.stragglers.is_empty() and self.dropouts.is_empty()
+                and self.drift.is_empty())

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.partition import EMDTargetPartitioner
+from repro.data.partition import ClientPartition, EMDTargetPartitioner
 from repro.data.skew import half_normal_class_proportions
 from repro.data.synthetic import make_synthetic_mnist, make_uniform_test_set
 from repro.federated.client import LocalTrainingConfig
@@ -171,6 +171,76 @@ class TestFederatedSimulation:
             FederatedConfig(rounds=0)
         with pytest.raises(ValueError):
             FederatedConfig(eval_every=0)
+
+    def test_fallback_reason_surfaces_in_history(self, small_setup):
+        # a ragged federation cannot be stacked into one cohort tensor, so a
+        # vectorized run silently degrades to sequential — the round records
+        # must say so instead of leaving the reason buried on the executor
+        generator, _, test_set = small_setup
+        counts = np.zeros((4, 10), dtype=int)
+        counts[:, 0] = [8, 8, 12, 8]  # client 2 is bigger: ragged cohort
+        ragged = ClientPartition(counts, 10)
+        sim = FederatedSimulation(
+            partition=ragged,
+            generator=generator,
+            model_factory=lambda: MLP(64, 10, hidden=(16,), seed=7),
+            selector=RoundRobinSelector(4, 4),
+            test_set=test_set,
+            config=FederatedConfig(
+                rounds=2, executor_mode="vectorized",
+                local=LocalTrainingConfig(learning_rate=1e-3), seed=0,
+            ),
+        )
+        history = sim.run()
+        reasons = history.fallback_reasons()
+        assert [round_index for round_index, _ in reasons] == [0, 1]
+        assert all(r.fallback_reason for r in history.records)
+        sim.close()
+
+    def test_scenario_free_records_have_no_fault_fields(self, small_setup):
+        sim = self._make(small_setup)
+        rec = sim.run_round(0)
+        assert rec.actual_clients is None
+        assert rec.participants == rec.selected_clients
+        assert rec.failures == {} and not rec.aggregation_skipped
+        assert rec.fallback_reason is None
+
+    def test_close_is_idempotent_and_context_manager_cleans_up(self, small_setup):
+        with self._make(small_setup) as sim:
+            sim.run_round(0)
+        sim.close()  # second close after __exit__ must be a no-op
+        sim.close()
+
+    def test_mid_round_exception_does_not_leak_workers(self, small_setup):
+        class ExplodingSelector(RoundRobinSelector):
+            def select(self, round_index):
+                if round_index >= 1:
+                    raise RuntimeError("selector lost its registry")
+                return super().select(round_index)
+
+        generator, partition, test_set = small_setup
+        workers = []
+        sim_ref = []
+        with pytest.raises(RuntimeError, match="lost its registry"):
+            with FederatedSimulation(
+                partition=partition,
+                generator=generator,
+                model_factory=lambda: MLP(64, 10, hidden=(16,), seed=7),
+                selector=ExplodingSelector(partition.n_clients, 4),
+                test_set=test_set,
+                config=FederatedConfig(
+                    rounds=3, executor_mode="parallel", num_workers=2,
+                    local=LocalTrainingConfig(learning_rate=1e-3), seed=0,
+                ),
+            ) as sim:
+                sim_ref.append(sim)
+                sim.run(progress=lambda r: workers.extend(
+                    sim.executor.scheduler._workers))
+        assert workers, "round 0 should have spawned the worker fleet"
+        assert all(not w.is_alive() for w in workers)
+        scheduler = sim_ref[0].executor.scheduler
+        assert scheduler._workers == [] and scheduler._conns == []
+        sim_ref[0].close()  # idempotent after the context-manager teardown
 
     def test_training_improves_over_rounds(self, small_setup):
         # with enough rounds the global model should beat random guessing (0.1)

@@ -1,0 +1,137 @@
+"""Partial-round aggregation: survivor weights and the server's skip policy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from _hypothesis_support import scaled_max_examples
+from repro.federated.aggregation import (
+    partial_round_weights,
+    weighted_average_states,
+)
+from repro.federated.server import FederatedServer
+from repro.nn.models import MLP
+
+
+@st.composite
+def counts_and_survivors(draw):
+    """A planned cohort's sample counts plus a non-empty survivor subset."""
+    counts = draw(st.lists(st.integers(min_value=1, max_value=512),
+                           min_size=1, max_size=32))
+    survivors = draw(st.sets(st.integers(min_value=0, max_value=len(counts) - 1),
+                             min_size=1, max_size=len(counts)))
+    return counts, sorted(survivors)
+
+
+class TestPartialRoundWeightsProperties:
+    @settings(max_examples=scaled_max_examples(200), deadline=None)
+    @given(case=counts_and_survivors())
+    def test_weights_over_any_survivor_subset_sum_to_one(self, case):
+        counts, survivors = case
+        weights = partial_round_weights(counts, survivors=survivors)
+        assert weights.shape == (len(survivors),)
+        assert np.all(weights > 0)
+        assert np.isclose(weights.sum(), 1.0, atol=1e-12)
+
+    @settings(max_examples=scaled_max_examples(200), deadline=None)
+    @given(counts=st.lists(st.integers(min_value=1, max_value=512),
+                           min_size=1, max_size=32))
+    def test_full_survival_equals_full_cohort_weights(self, counts):
+        full = partial_round_weights(counts)
+        everyone = partial_round_weights(counts, survivors=range(len(counts)))
+        np.testing.assert_allclose(everyone, full, rtol=0, atol=0)
+        np.testing.assert_allclose(
+            full, np.asarray(counts, dtype=float) / sum(counts))
+
+    @settings(max_examples=scaled_max_examples(100), deadline=None)
+    @given(case=counts_and_survivors())
+    def test_equal_counts_reduce_to_plain_average(self, case):
+        counts, survivors = case
+        uniform = [counts[0]] * len(counts)  # FedVC: every virtual client equal
+        weights = partial_round_weights(uniform, survivors=survivors)
+        np.testing.assert_allclose(weights, 1.0 / len(survivors), atol=1e-12)
+
+    @settings(max_examples=scaled_max_examples(100), deadline=None)
+    @given(case=counts_and_survivors())
+    def test_weighted_partial_aggregate_is_survivor_convex_combination(self, case):
+        counts, survivors = case
+        states = [{"w": np.full(3, float(k))} for k in range(len(counts))]
+        weights = partial_round_weights(counts, survivors=survivors)
+        merged = weighted_average_states([states[i] for i in survivors], weights)
+        expected = sum(w * states[i]["w"] for w, i in zip(weights, survivors))
+        np.testing.assert_allclose(merged["w"], expected, atol=1e-12)
+
+
+class TestPartialRoundWeightsValidation:
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            partial_round_weights([])
+        with pytest.raises(ValueError):
+            partial_round_weights([3, -1])
+
+    def test_rejects_bad_survivor_sets(self):
+        with pytest.raises(ValueError):
+            partial_round_weights([1, 2], survivors=[])
+        with pytest.raises(ValueError):
+            partial_round_weights([1, 2], survivors=[0, 0])
+        with pytest.raises(ValueError):
+            partial_round_weights([1, 2], survivors=[2])
+        with pytest.raises(ValueError):
+            partial_round_weights([0, 0], survivors=[0])
+
+
+class TestServerSkipPolicy:
+    def _server(self):
+        return FederatedServer(lambda: MLP(8, 2, hidden=(4,), seed=0))
+
+    def _state(self, value):
+        server = self._server()
+        return {k: np.full_like(v, value) for k, v in server.global_state().items()}
+
+    def test_round_below_floor_is_skipped(self):
+        server = self._server()
+        before = server.global_state()
+        out = server.aggregate([self._state(1.0)], expected_count=4,
+                               min_participation=0.5)
+        assert server.last_aggregation_skipped
+        assert server.rounds_skipped == 1 and server.rounds_completed == 0
+        for key in before:
+            np.testing.assert_array_equal(out[key], before[key])
+
+    def test_round_at_floor_aggregates(self):
+        server = self._server()
+        server.aggregate([self._state(1.0), self._state(3.0)], expected_count=4,
+                         min_participation=0.5)
+        assert not server.last_aggregation_skipped
+        assert server.rounds_completed == 1 and server.rounds_skipped == 0
+        np.testing.assert_allclose(
+            server.global_state()["net.layers.1.weight"], 2.0)
+
+    def test_no_survivors_always_skips(self):
+        server = self._server()
+        before = server.global_state()
+        out = server.aggregate([], expected_count=4, min_participation=0.0)
+        assert server.last_aggregation_skipped
+        for key in before:
+            np.testing.assert_array_equal(out[key], before[key])
+
+    def test_empty_without_expected_count_still_raises(self):
+        with pytest.raises(ValueError):
+            self._server().aggregate([])
+
+    def test_flag_resets_on_next_aggregation(self):
+        server = self._server()
+        server.aggregate([], expected_count=2)
+        assert server.last_aggregation_skipped
+        server.aggregate([self._state(1.0)], expected_count=2,
+                         min_participation=0.5)
+        assert not server.last_aggregation_skipped
+
+    def test_invalid_arguments(self):
+        server = self._server()
+        with pytest.raises(ValueError):
+            server.aggregate([self._state(1.0)], expected_count=0)
+        with pytest.raises(ValueError):
+            server.aggregate([self._state(1.0)], expected_count=2,
+                             min_participation=1.5)

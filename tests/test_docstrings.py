@@ -33,6 +33,9 @@ import repro.federated.server
 import repro.federated.simulation
 import repro.federated.workspace
 import repro.nn.batched
+import repro.scenarios.engine
+import repro.scenarios.report
+import repro.scenarios.spec
 
 AUDITED_MODULES = [
     repro.federated,
@@ -46,6 +49,9 @@ AUDITED_MODULES = [
     repro.federated.workspace,
     repro.nn.batched,
     repro.crypto.packing,
+    repro.scenarios.engine,
+    repro.scenarios.report,
+    repro.scenarios.spec,
 ]
 
 #: inherited members whose docstrings live on the base/stdlib class
