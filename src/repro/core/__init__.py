@@ -23,8 +23,10 @@ Public API
 from .config import (
     GROUP1_REFERENCE_SET,
     GROUP2_REFERENCE_SET,
+    RUN_MODES,
     RUNTIME_DTYPES,
     DubheConfig,
+    resolve_run_mode,
     resolve_runtime_dtype,
 )
 from .multitime import MultiTimeResult, TentativeTry, multi_time_selection
@@ -67,6 +69,7 @@ __all__ = [
     "ParameterSearchResult",
     "ProtocolStats",
     "RUNTIME_DTYPES",
+    "RUN_MODES",
     "RandomSelector",
     "RegistrationResult",
     "RegistryCodebook",
@@ -85,6 +88,7 @@ __all__ = [
     "multi_time_selection",
     "participation_probabilities",
     "participation_probability",
+    "resolve_run_mode",
     "resolve_runtime_dtype",
     "search_thresholds",
 ]

@@ -21,9 +21,11 @@ __all__ = [
     "GROUP1_REFERENCE_SET",
     "GROUP2_REFERENCE_SET",
     "RUNTIME_DTYPES",
+    "RUN_MODES",
     "SHARD_POLICIES",
     "partition_cohort",
     "resolve_num_workers",
+    "resolve_run_mode",
     "resolve_runtime_dtype",
     "resolve_shard_policy",
 ]
@@ -88,6 +90,30 @@ def resolve_shard_policy(policy: str) -> str:
             f"shard policy must be one of {SHARD_POLICIES}, got {policy!r}"
         )
     return policy
+
+
+#: How a federated run interacts with the run ledger (:mod:`repro.ledger`).
+#: ``"live"`` records the run as it executes (or runs unrecorded when no
+#: ledger path is configured); ``"resume"`` reopens a recorded run, restores
+#: the server from its last committed round checkpoint and continues;
+#: ``"verify"`` re-executes a recorded run and asserts bit-identical
+#: per-round selections and metrics.
+RUN_MODES: tuple[str, ...] = ("live", "resume", "verify")
+
+
+def resolve_run_mode(run_mode: str) -> str:
+    """Validate a run-mode knob against :data:`RUN_MODES`.
+
+    Example
+    -------
+    >>> resolve_run_mode("live")
+    'live'
+    """
+    if run_mode not in RUN_MODES:
+        raise ValueError(
+            f"run mode must be one of {RUN_MODES}, got {run_mode!r}"
+        )
+    return run_mode
 
 
 def resolve_num_workers(num_workers: Optional[int] = None) -> int:

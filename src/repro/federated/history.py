@@ -8,12 +8,18 @@ those series so every benchmark reads its numbers from one place.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 __all__ = ["RoundRecord", "TrainingHistory"]
+
+
+def _native_float(value) -> Optional[float]:
+    """``None``-preserving conversion of (numpy) scalars to native floats."""
+    return None if value is None else float(value)
 
 
 @dataclass(frozen=True)
@@ -68,6 +74,75 @@ class RoundRecord:
     def participants(self) -> tuple[int, ...]:
         """The clients whose updates were aggregated this round."""
         return self.selected_clients if self.actual_clients is None else self.actual_clients
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dictionary of this record (numpy scalars → native).
+
+        Every numpy scalar becomes a native Python number, the population
+        distribution becomes a plain list and failure keys become strings
+        (JSON object keys are always strings), so ``json.dumps`` accepts the
+        result without a custom encoder and
+        :meth:`from_dict` round-trips it exactly — the contract the run
+        ledger's per-round rows (:mod:`repro.ledger`) rely on.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> record = RoundRecord(0, (3, 1), np.array([0.5, 0.5]), 0.0, 0.9)
+        >>> record.to_dict()["selected_clients"]
+        [3, 1]
+        """
+        return {
+            "round_index": int(self.round_index),
+            "selected_clients": [int(c) for c in self.selected_clients],
+            "population_distribution": [
+                float(p) for p in np.asarray(self.population_distribution).ravel()
+            ],
+            "population_bias": float(self.population_bias),
+            "test_accuracy": _native_float(self.test_accuracy),
+            "train_loss": _native_float(self.train_loss),
+            "actual_clients": (None if self.actual_clients is None
+                               else [int(c) for c in self.actual_clients]),
+            "failures": {str(int(k)): str(v) for k, v in self.failures.items()},
+            "fallback_reason": self.fallback_reason,
+            "aggregation_skipped": bool(self.aggregation_skipped),
+            "actual_population_bias": _native_float(self.actual_population_bias),
+            "round_delay": float(self.round_delay),
+            "drift_applied": bool(self.drift_applied),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RoundRecord":
+        """Rebuild a record from :meth:`to_dict` output (inverse round-trip).
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> record = RoundRecord(0, (3, 1), np.array([0.5, 0.5]), 0.0, 0.9)
+        >>> RoundRecord.from_dict(record.to_dict()).selected_clients
+        (3, 1)
+        """
+        actual = payload.get("actual_clients")
+        return cls(
+            round_index=int(payload["round_index"]),
+            selected_clients=tuple(int(c) for c in payload["selected_clients"]),
+            population_distribution=np.asarray(payload["population_distribution"],
+                                               dtype=float),
+            population_bias=float(payload["population_bias"]),
+            test_accuracy=_native_float(payload.get("test_accuracy")),
+            train_loss=_native_float(payload.get("train_loss")),
+            actual_clients=None if actual is None else tuple(int(c) for c in actual),
+            failures={int(k): str(v)
+                      for k, v in dict(payload.get("failures") or {}).items()},
+            fallback_reason=payload.get("fallback_reason"),
+            aggregation_skipped=bool(payload.get("aggregation_skipped", False)),
+            actual_population_bias=_native_float(
+                payload.get("actual_population_bias")),
+            round_delay=float(payload.get("round_delay", 0.0)),
+            drift_applied=bool(payload.get("drift_applied", False)),
+        )
 
 
 @dataclass
@@ -190,3 +265,37 @@ class TrainingHistory:
             "tail_accuracy": self.tail_average_accuracy(min(50, len(self.records))),
             "mean_population_bias": self.mean_population_bias(),
         }
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The whole history as a JSON document (one object per round).
+
+        Built on :meth:`RoundRecord.to_dict`, so numpy scalars are already
+        native and :meth:`from_json` reproduces every record exactly.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> history = TrainingHistory()
+        >>> history.append(RoundRecord(0, (0,), np.array([1.0]), 0.0, 0.5))
+        >>> len(TrainingHistory.from_json(history.to_json()))
+        1
+        """
+        return json.dumps({"records": [r.to_dict() for r in self.records]},
+                          indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrainingHistory":
+        """Rebuild a history from :meth:`to_json` output.
+
+        Example
+        -------
+        >>> TrainingHistory.from_json('{"records": []}').records
+        []
+        """
+        payload = json.loads(text)
+        history = cls()
+        for record in payload.get("records", []):
+            history.append(RoundRecord.from_dict(record))
+        return history

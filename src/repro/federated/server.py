@@ -78,6 +78,32 @@ class FederatedServer:
         """
         return self.global_model.state_dict(copy=copy)
 
+    def restore(self, state: StateDict, rounds_completed: int = 0,
+                rounds_skipped: int = 0) -> None:
+        """Load a checkpointed global state (the run ledger's RESUME path).
+
+        Replaces the global model's weights with *state* — a state dict
+        recorded by :class:`repro.ledger.RunLedger` after some earlier
+        round's aggregation — and restores the server's round counters, so a
+        resumed run continues exactly where the recorded one stopped.  The
+        cached batched evaluator (if any) reloads the weights on its next
+        :meth:`evaluate` call, nothing else needs rebuilding.
+
+        Example
+        -------
+        >>> from repro.nn.models import MLP
+        >>> server = FederatedServer(lambda: MLP(8, 2, hidden=(4,), seed=0))
+        >>> server.restore(server.global_state(), rounds_completed=3)
+        >>> server.rounds_completed
+        3
+        """
+        if rounds_completed < 0 or rounds_skipped < 0:
+            raise ValueError("round counters must be >= 0")
+        self.global_model.load_state_dict(state)
+        self.rounds_completed = rounds_completed
+        self.rounds_skipped = rounds_skipped
+        self.last_aggregation_skipped = False
+
     def aggregate(self, client_states: Sequence[StateDict],
                   client_weights: Sequence[float] | None = None,
                   expected_count: Optional[int] = None,

@@ -20,7 +20,8 @@ from typing import Callable, Optional, Protocol, Sequence
 
 import numpy as np
 
-from ..core.config import resolve_runtime_dtype, resolve_shard_policy
+from ..core.config import (resolve_run_mode, resolve_runtime_dtype,
+                           resolve_shard_policy)
 from ..data.cohort import DatasetCache
 from ..data.dataset import ArrayDataset
 from ..data.distributions import emd, uniform_distribution
@@ -73,6 +74,16 @@ class FederatedConfig:
     and the empty ``ScenarioSpec()`` both leave the run bit-identical to a
     fault-free one.
 
+    ``ledger_path`` opts the run into the run ledger
+    (:mod:`repro.ledger`): every completed round is durably committed to
+    that SQLite file.  ``run_mode`` picks the ledger behaviour
+    (:data:`repro.core.config.RUN_MODES`): ``"live"`` records a new run,
+    ``"resume"`` continues a recorded run from its last committed
+    checkpoint, ``"verify"`` re-executes a recorded run and asserts every
+    round matches bit-for-bit.  ``replay_source_run_id`` names which
+    recorded run to resume/verify (default: the ledger's most recent);
+    ``run_name`` labels a freshly recorded run.
+
     Example
     -------
     >>> config = FederatedConfig(rounds=5, executor_mode="parallel",
@@ -93,6 +104,10 @@ class FederatedConfig:
     scheduler_timeout: Optional[float] = 120.0
     seed: Optional[int] = None
     scenario: Optional[ScenarioSpec] = None
+    run_mode: str = "live"
+    ledger_path: Optional[str] = None
+    replay_source_run_id: Optional[str] = None
+    run_name: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -128,6 +143,17 @@ class FederatedConfig:
             raise ValueError(f"eval_backend must be one of {EVAL_BACKENDS}")
         if self.scenario is not None and not isinstance(self.scenario, ScenarioSpec):
             raise TypeError("scenario must be a ScenarioSpec (or None)")
+        resolve_run_mode(self.run_mode)
+        if self.run_mode != "live" and self.ledger_path is None:
+            raise ValueError(
+                f"run_mode={self.run_mode!r} replays a recorded run and "
+                "requires ledger_path"
+            )
+        if self.replay_source_run_id is not None and self.run_mode == "live":
+            raise ValueError(
+                "replay_source_run_id names a recorded run to resume or "
+                "verify; it is invalid with run_mode='live'"
+            )
 
 
 class FederatedSimulation:
@@ -154,7 +180,8 @@ class FederatedSimulation:
 
     def __init__(self, partition: ClientPartition, generator: SyntheticImageGenerator,
                  model_factory: Callable[[], Module], selector: ClientSelectorProtocol,
-                 test_set: ArrayDataset, config: Optional[FederatedConfig] = None):
+                 test_set: ArrayDataset, config: Optional[FederatedConfig] = None,
+                 recipe=None):
         if partition.num_classes != generator.num_classes:
             raise ValueError("partition and generator disagree on the number of classes")
         self.partition = partition
@@ -188,6 +215,15 @@ class FederatedSimulation:
         )
         #: how many label-drift events have fired (salts regenerated data)
         self._drift_events = 0
+        #: the run-ledger attachment (None unless config.ledger_path is set);
+        #: created last so resume/verify fast-forward sees a fully built
+        #: simulation.  *recipe* (a repro.ledger.RunRecipe) is recorded next
+        #: to the run so a cold process can rebuild these components.
+        self.ledger_session = None
+        if self.config.ledger_path is not None:
+            from ..ledger.modes import LedgerSession
+
+            self.ledger_session = LedgerSession(self, recipe=recipe)
 
     # -- client materialisation ----------------------------------------------------
 
@@ -295,6 +331,8 @@ class FederatedSimulation:
             drift_applied=drift_applied,
         )
         self.history.append(record)
+        if self.ledger_session is not None:
+            self.ledger_session.on_round(record, self.server.global_state())
         return record
 
     # -- label drift ----------------------------------------------------------------
@@ -362,14 +400,27 @@ class FederatedSimulation:
 
     def run(self, rounds: Optional[int] = None, progress: Optional[Callable[[RoundRecord], None]] = None,
             ) -> TrainingHistory:
-        """Run the full federated training loop and return the history."""
+        """Run the full federated training loop and return the history.
+
+        With a ledger attached the loop honours the session's bounds:
+        RESUME starts at the first uncommitted round (already-committed
+        rounds are restored to the history during fast-forward), VERIFY
+        re-executes exactly the committed rounds.  The session is notified
+        when the loop completes (marking the run finished, or raising the
+        verification report).
+        """
         total = rounds if rounds is not None else self.config.rounds
         if total < 1:
             raise ValueError("rounds must be positive")
-        for t in range(total):
+        start = 0
+        if self.ledger_session is not None:
+            start, total = self.ledger_session.run_bounds(total)
+        for t in range(start, total):
             record = self.run_round(t)
             if progress is not None:
                 progress(record)
+        if self.ledger_session is not None:
+            self.ledger_session.on_run_complete(self.history)
         return self.history
 
     # -- lifecycle ----------------------------------------------------------------
@@ -383,9 +434,13 @@ class FederatedSimulation:
         simply rebuilds what it needs — so this is about not leaking worker
         processes past the simulation's useful life.  Simulations also work
         as context managers: ``with FederatedSimulation(...) as sim: ...``.
+        Closes the attached ledger session too (committed rounds are already
+        durable; closing only releases the SQLite connection).
         """
         self.executor.close()
         self.server.close()
+        if self.ledger_session is not None:
+            self.ledger_session.close()
 
     def __enter__(self) -> "FederatedSimulation":
         return self

@@ -1,0 +1,298 @@
+"""Serialization between live run objects and ledger rows.
+
+Three codecs live here, all pure functions with exact inverses:
+
+* **Global model state** — ``state_to_bytes``/``state_from_bytes`` pack a
+  server state dict (parameter name → float64 array) into one NPZ blob, the
+  per-round resume checkpoint.  ``state_sha256`` checksums the blob so a
+  damaged checkpoint is detected before anything is restored from it.
+* **Run configuration** — ``config_to_dict``/``config_from_dict`` flatten a
+  resolved :class:`~repro.federated.FederatedConfig` (including its nested
+  :class:`~repro.federated.LocalTrainingConfig` and
+  :class:`~repro.scenarios.ScenarioSpec`) to a JSON-ready dict and rebuild
+  it.  The ledger-plumbing fields (``run_mode``, ``ledger_path``,
+  ``replay_source_run_id``, ``run_name``) are *not* part of the recorded
+  config: they say how a run talks to the ledger, not what the run computes.
+* **Recipes** — a :class:`RunRecipe` names an importable factory that can
+  rebuild the non-serializable simulation components (partition, generator,
+  model factory, selector, test set) from keyword arguments, which is what
+  lets ``python -m repro.ledger verify``/``resume`` reconstruct a recorded
+  run in a fresh process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import io
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "RunRecipe",
+    "config_from_dict",
+    "config_to_dict",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "state_from_bytes",
+    "state_sha256",
+    "state_to_bytes",
+]
+
+#: FederatedConfig fields that parameterise the ledger session itself and
+#: are therefore excluded from the recorded run configuration.
+LEDGER_FIELDS = ("run_mode", "ledger_path", "replay_source_run_id", "run_name")
+
+#: Recorded-config keys that determine a run's numeric results.  RESUME and
+#: VERIFY require these to match between the recorded run and the current
+#: simulation; executor knobs (back-end, workers, cache sizes) are absent on
+#: purpose — all back-ends are bit-identical under float64, which is exactly
+#: what makes cross-back-end VERIFY meaningful.
+DETERMINISM_KEYS = ("eval_every", "seed", "dtype", "local", "scenario")
+
+
+# -- model state ---------------------------------------------------------------------
+
+
+def state_to_bytes(state: Mapping[str, np.ndarray]) -> bytes:
+    """Pack a model state dict into one NPZ blob (the checkpoint format).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> blob = state_to_bytes({"layer.weight": np.ones((2, 2))})
+    >>> state_from_bytes(blob)["layer.weight"].shape
+    (2, 2)
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **{k: np.asarray(v) for k, v in state.items()})
+    return buffer.getvalue()
+
+
+def state_from_bytes(blob: bytes) -> "dict[str, np.ndarray]":
+    """Unpack a :func:`state_to_bytes` blob back into a state dict.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> round_trip = state_from_bytes(state_to_bytes({"b": np.zeros(3)}))
+    >>> round_trip["b"].tolist()
+    [0.0, 0.0, 0.0]
+    """
+    with np.load(io.BytesIO(blob), allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def state_sha256(blob: bytes) -> str:
+    """Hex SHA-256 of a checkpoint blob (stored next to it, checked on load).
+
+    Example
+    -------
+    >>> len(state_sha256(b"abc"))
+    64
+    """
+    return hashlib.sha256(blob).hexdigest()
+
+
+# -- scenario specs ------------------------------------------------------------------
+
+
+def scenario_to_dict(scenario) -> "Optional[dict]":
+    """A :class:`~repro.scenarios.ScenarioSpec` as a JSON-ready dict.
+
+    ``None`` stays ``None`` (a scenario-free run).  Mapping keys become
+    strings under JSON; :func:`scenario_from_dict` restores them through the
+    spec constructors' own normalisation.
+
+    Example
+    -------
+    >>> from repro.scenarios import ScenarioSpec
+    >>> scenario_to_dict(ScenarioSpec(seed=3))["seed"]
+    3
+    >>> scenario_to_dict(None) is None
+    True
+    """
+    if scenario is None:
+        return None
+    return dataclasses.asdict(scenario)
+
+
+def scenario_from_dict(payload: "Optional[Mapping]"):
+    """Rebuild a :class:`~repro.scenarios.ScenarioSpec` from its dict form.
+
+    Example
+    -------
+    >>> from repro.scenarios import ScenarioSpec
+    >>> spec = ScenarioSpec(seed=3)
+    >>> scenario_from_dict(scenario_to_dict(spec)) == spec
+    True
+    """
+    from ..scenarios.spec import (AvailabilitySpec, ChurnSpec, DriftSpec,
+                                  DropoutSpec, ScenarioSpec, StragglerSpec)
+
+    if payload is None:
+        return None
+    payload = dict(payload)
+    return ScenarioSpec(
+        availability=AvailabilitySpec(**payload["availability"]),
+        churn=ChurnSpec(**payload["churn"]),
+        stragglers=StragglerSpec(**payload["stragglers"]),
+        dropouts=DropoutSpec(**payload["dropouts"]),
+        drift=DriftSpec(**payload["drift"]),
+        min_participation=payload["min_participation"],
+        seed=payload["seed"],
+    )
+
+
+# -- run configuration ---------------------------------------------------------------
+
+
+def config_to_dict(config) -> dict:
+    """A resolved :class:`~repro.federated.FederatedConfig` as a JSON dict.
+
+    The ledger-plumbing fields (:data:`LEDGER_FIELDS`) are stripped: the
+    recorded configuration describes what the run computes, independent of
+    which ledger it was recorded to.
+
+    Example
+    -------
+    >>> from repro.federated import FederatedConfig
+    >>> payload = config_to_dict(FederatedConfig(rounds=3, seed=1))
+    >>> payload["rounds"], "ledger_path" in payload
+    (3, False)
+    """
+    payload = dataclasses.asdict(config)
+    for name in LEDGER_FIELDS:
+        payload.pop(name, None)
+    payload["scenario"] = scenario_to_dict(config.scenario)
+    return payload
+
+
+def config_from_dict(payload: Mapping, **overrides):
+    """Rebuild a :class:`~repro.federated.FederatedConfig` from its dict form.
+
+    *overrides* replace recorded fields — the CLI uses this to re-attach the
+    ledger plumbing (``run_mode="verify"``, ``ledger_path=...``) and to
+    re-execute a recorded run on a different executor back-end.
+
+    Example
+    -------
+    >>> from repro.federated import FederatedConfig
+    >>> recorded = config_to_dict(FederatedConfig(rounds=3, seed=1))
+    >>> config_from_dict(recorded, executor_mode="vectorized").rounds
+    3
+    """
+    from ..federated.client import LocalTrainingConfig
+    from ..federated.simulation import FederatedConfig
+
+    kwargs = dict(payload)
+    kwargs["local"] = LocalTrainingConfig(**kwargs["local"])
+    kwargs["scenario"] = scenario_from_dict(kwargs.get("scenario"))
+    kwargs.update(overrides)
+    return FederatedConfig(**kwargs)
+
+
+# -- recipes -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunRecipe:
+    """An importable factory that rebuilds a run's simulation components.
+
+    ``target`` is a ``"package.module:function"`` path; calling it with
+    ``kwargs`` must return a dict with the keys ``partition``,
+    ``generator``, ``model_factory``, ``selector`` and ``test_set`` — the
+    non-serializable constructor arguments of
+    :class:`~repro.federated.FederatedSimulation`.  Recording a recipe next
+    to a run is what makes ``python -m repro.ledger verify``/``resume``
+    possible from a cold process; runs recorded without one can still be
+    resumed or verified programmatically by whoever can rebuild the
+    simulation.
+
+    Example
+    -------
+    >>> recipe = RunRecipe("repro.ledger.recipes:quick_mlp",
+    ...                    {"n_clients": 16, "participants": 4, "seed": 0})
+    >>> sorted(recipe.build())
+    ['generator', 'model_factory', 'partition', 'selector', 'test_set']
+    """
+
+    target: str
+    kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if ":" not in self.target:
+            raise ValueError(
+                "recipe target must be 'package.module:function', got "
+                f"{self.target!r}"
+            )
+        object.__setattr__(self, "kwargs", dict(self.kwargs))
+
+    def resolve(self):
+        """Import and return the factory callable.
+
+        Example
+        -------
+        >>> RunRecipe("repro.ledger.recipes:quick_mlp").resolve().__name__
+        'quick_mlp'
+        """
+        module_name, _, attribute = self.target.partition(":")
+        module = importlib.import_module(module_name)
+        try:
+            return getattr(module, attribute)
+        except AttributeError as exc:
+            raise ValueError(
+                f"recipe target {self.target!r}: {module_name} has no "
+                f"attribute {attribute!r}"
+            ) from exc
+
+    def build(self) -> dict:
+        """Call the factory and validate its component dict.
+
+        Example
+        -------
+        >>> components = RunRecipe("repro.ledger.recipes:quick_mlp",
+        ...                        {"n_clients": 16, "seed": 0}).build()
+        >>> components["partition"].n_clients
+        16
+        """
+        components = self.resolve()(**self.kwargs)
+        required = {"partition", "generator", "model_factory", "selector",
+                    "test_set"}
+        if not isinstance(components, Mapping):
+            raise ValueError(
+                f"recipe {self.target!r} must return a dict of simulation "
+                f"components, got {type(components).__name__}"
+            )
+        missing = required - set(components)
+        if missing:
+            raise ValueError(
+                f"recipe {self.target!r} returned components without "
+                f"{sorted(missing)}"
+            )
+        return components
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ledger's ``recipe_json`` column).
+
+        Example
+        -------
+        >>> RunRecipe("m.o:d", {"x": 1}).to_dict()
+        {'target': 'm.o:d', 'kwargs': {'x': 1}}
+        """
+        return {"target": self.target, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunRecipe":
+        """Inverse of :meth:`to_dict`.
+
+        Example
+        -------
+        >>> RunRecipe.from_dict({"target": "m.o:d", "kwargs": {}}).target
+        'm.o:d'
+        """
+        return cls(target=payload["target"],
+                   kwargs=dict(payload.get("kwargs") or {}))

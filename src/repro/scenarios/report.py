@@ -112,7 +112,9 @@ def run_scenario(simulation, rounds: Optional[int] = None,
     *simulation* is a :class:`~repro.federated.FederatedSimulation` whose
     config usually carries a :class:`~repro.scenarios.spec.ScenarioSpec`;
     a scenario-free simulation works too and simply reports zero failures.
-    The simulation is left open (callers own its lifecycle).
+    The simulation is left open (callers own its lifecycle).  When the
+    simulation records to a run ledger (:mod:`repro.ledger`), the report's
+    summary and *name* are attached to the recorded run's row.
 
     Example
     -------
@@ -139,7 +141,7 @@ def run_scenario(simulation, rounds: Optional[int] = None,
         actual_biases.append(record.population_bias
                              if record.actual_population_bias is None
                              else record.actual_population_bias)
-    return ScenarioReport(
+    report = ScenarioReport(
         name=name,
         rounds=len(history),
         planned_biases=tuple(float(b) for b in history.population_biases()),
@@ -151,6 +153,13 @@ def run_scenario(simulation, rounds: Optional[int] = None,
             simulation.partition.client_distributions())),
         fallback_reasons=tuple(fallback_reasons),
     )
+    session = getattr(simulation, "ledger_session", None)
+    if session is not None:
+        try:
+            session.attach_report(report.summary(), name=name)
+        except ValueError:
+            pass  # nothing evaluated: the run row simply keeps no report
+    return report
 
 
 def compare_selectors(make_simulation: Callable[[str], object],

@@ -1,0 +1,106 @@
+"""Tests of the FEMNIST archive download helper (retry/backoff/timeout)."""
+
+import io
+from urllib.error import URLError
+
+import pytest
+
+from repro.data import LEAF_FEMNIST_URL, download_femnist
+
+
+class FakeNetwork:
+    """An injectable urlopen that fails *failures* times, then succeeds."""
+
+    def __init__(self, failures=0, payload=b"archive", chunks=1):
+        self.failures = failures
+        self.payload = payload
+        self.chunks = chunks
+        self.calls = []
+
+    def __call__(self, url, timeout):
+        self.calls.append((url, timeout))
+        if len(self.calls) <= self.failures:
+            raise URLError("connection reset")
+        return io.BytesIO(self.payload)
+
+
+class TestDownloadFemnist:
+    def test_success_first_try(self, tmp_path):
+        network = FakeNetwork()
+        dest = download_femnist(tmp_path / "femnist.zip", urlopen=network,
+                                sleep=lambda s: None)
+        assert dest.read_bytes() == b"archive"
+        assert network.calls == [(LEAF_FEMNIST_URL, 30.0)]
+
+    def test_retries_with_exponential_backoff(self, tmp_path):
+        network = FakeNetwork(failures=3)
+        delays = []
+        dest = download_femnist(tmp_path / "f.zip", retries=4, backoff=0.5,
+                                urlopen=network, sleep=delays.append)
+        assert dest.exists()
+        assert len(network.calls) == 4
+        assert delays == [0.5, 1.0, 2.0]  # backoff, 2*backoff, 4*backoff
+
+    def test_exhausted_retries_raise_with_cause(self, tmp_path):
+        network = FakeNetwork(failures=10)
+        delays = []
+        with pytest.raises(OSError, match="after 3 attempt"):
+            download_femnist(tmp_path / "f.zip", retries=2,
+                             urlopen=network, sleep=delays.append)
+        assert len(network.calls) == 3
+        assert delays == [1.0, 2.0]
+        # no partial file left behind masquerading as a download
+        assert list(tmp_path.iterdir()) == []
+
+    def test_timeout_is_passed_through(self, tmp_path):
+        network = FakeNetwork()
+        download_femnist(tmp_path / "f.zip", timeout=7.5, urlopen=network,
+                         sleep=lambda s: None)
+        assert network.calls[0][1] == 7.5
+
+    def test_existing_file_short_circuits(self, tmp_path):
+        dest = tmp_path / "f.zip"
+        dest.write_bytes(b"already here")
+        network = FakeNetwork()
+        out = download_femnist(dest, urlopen=network, sleep=lambda s: None)
+        assert out.read_bytes() == b"already here"
+        assert network.calls == []
+
+    def test_creates_parent_directories(self, tmp_path):
+        dest = tmp_path / "deep" / "nested" / "f.zip"
+        download_femnist(dest, urlopen=FakeNetwork(), sleep=lambda s: None)
+        assert dest.exists()
+
+    def test_partial_write_is_atomic(self, tmp_path):
+        # first attempt dies mid-body; the retry succeeds and the final file
+        # holds only the complete payload, with no .part file left behind
+        class MidBodyFailure(io.BytesIO):
+            def __init__(self):
+                super().__init__(b"partial")
+                self.reads = 0
+
+            def read(self, size=-1):
+                self.reads += 1
+                if self.reads == 2:
+                    raise OSError("connection dropped mid-body")
+                return super().read(size)
+
+        calls = []
+
+        def network(url, timeout):
+            calls.append(url)
+            return MidBodyFailure() if len(calls) == 1 \
+                else io.BytesIO(b"complete archive")
+
+        dest = download_femnist(tmp_path / "f.zip", urlopen=network,
+                                sleep=lambda s: None)
+        assert dest.read_bytes() == b"complete archive"
+        assert not (tmp_path / "f.zip.part").exists()
+
+    def test_parameter_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="retries"):
+            download_femnist(tmp_path / "f.zip", retries=-1)
+        with pytest.raises(ValueError, match="timeout and backoff"):
+            download_femnist(tmp_path / "f.zip", timeout=0.0)
+        with pytest.raises(ValueError, match="timeout and backoff"):
+            download_femnist(tmp_path / "f.zip", backoff=-1.0)

@@ -1,0 +1,165 @@
+"""Tests of the ledger codecs (repro/ledger/codec.py) and run context."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.federated.client import LocalTrainingConfig
+from repro.federated.simulation import FederatedConfig
+from repro.ledger import (RunRecipe, benchmark_context, config_from_dict,
+                          config_to_dict, find_bench_files, git_sha,
+                          scenario_from_dict, scenario_to_dict,
+                          state_from_bytes, state_sha256, state_to_bytes)
+from repro.ledger.codec import DETERMINISM_KEYS, LEDGER_FIELDS
+from repro.scenarios import ScenarioSpec
+from repro.scenarios.spec import (AvailabilitySpec, DriftSpec, DropoutSpec,
+                                  StragglerSpec)
+
+
+class TestStateCodec:
+    def test_round_trip_preserves_arrays(self):
+        state = {"fc1.weight": np.random.default_rng(0).normal(size=(4, 8)),
+                 "fc1.bias": np.zeros(4), "scalar": np.asarray(3.5)}
+        rebuilt = state_from_bytes(state_to_bytes(state))
+        assert sorted(rebuilt) == sorted(state)
+        for key in state:
+            np.testing.assert_array_equal(rebuilt[key], state[key])
+            assert rebuilt[key].dtype == np.asarray(state[key]).dtype
+
+    def test_sha_detects_corruption(self):
+        blob = state_to_bytes({"w": np.ones(4)})
+        tampered = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+        assert state_sha256(blob) != state_sha256(tampered)
+
+
+class TestScenarioCodec:
+    def test_none_round_trip(self):
+        assert scenario_to_dict(None) is None
+        assert scenario_from_dict(None) is None
+
+    def test_full_spec_round_trip(self):
+        spec = ScenarioSpec(
+            availability=AvailabilitySpec(offline_probability=0.1,
+                                          down_rounds={3: (0, 7)}),
+            stragglers=StragglerSpec(probability=0.2, mean_delay=1.5),
+            dropouts=DropoutSpec(probability=0.05),
+            drift=DriftSpec(period=4, shift=2),
+            min_participation=0.5,
+            seed=11,
+        )
+        assert scenario_from_dict(scenario_to_dict(spec)) == spec
+
+    def test_round_trip_survives_json(self):
+        # JSON turns int mapping keys into strings; the spec constructors
+        # must normalise them back
+        spec = ScenarioSpec(
+            availability=AvailabilitySpec(down_rounds={2: (1, 3)}), seed=5)
+        payload = json.loads(json.dumps(scenario_to_dict(spec)))
+        assert scenario_from_dict(payload) == spec
+
+
+class TestConfigCodec:
+    def test_ledger_fields_are_stripped(self):
+        config = FederatedConfig(rounds=3, seed=1, ledger_path="x.db",
+                                 run_name="demo")
+        payload = config_to_dict(config)
+        for name in LEDGER_FIELDS:
+            assert name not in payload
+
+    def test_round_trip_with_scenario_and_local(self):
+        config = FederatedConfig(
+            rounds=4, eval_every=2, seed=9,
+            local=LocalTrainingConfig(batch_size=4, local_epochs=2),
+            scenario=ScenarioSpec(dropouts=DropoutSpec(probability=0.1),
+                                  seed=3),
+        )
+        payload = json.loads(json.dumps(config_to_dict(config)))
+        rebuilt = config_from_dict(payload)
+        assert rebuilt == config
+
+    def test_overrides_reattach_ledger_plumbing(self):
+        recorded = config_to_dict(FederatedConfig(rounds=3, seed=1))
+        rebuilt = config_from_dict(recorded, run_mode="verify",
+                                   ledger_path="runs.db",
+                                   replay_source_run_id="abc")
+        assert rebuilt.run_mode == "verify"
+        assert rebuilt.ledger_path == "runs.db"
+        assert rebuilt.rounds == 3
+
+    def test_determinism_keys_exist_on_config(self):
+        payload = config_to_dict(FederatedConfig())
+        for key in DETERMINISM_KEYS:
+            assert key in payload
+
+
+class TestRunRecipe:
+    def test_requires_module_colon_function(self):
+        with pytest.raises(ValueError, match="package.module:function"):
+            RunRecipe("no_colon_here")
+
+    def test_resolve_unknown_attribute(self):
+        with pytest.raises(ValueError, match="no attribute"):
+            RunRecipe("repro.ledger.recipes:missing").resolve()
+
+    def test_build_validates_components(self):
+        recipe = RunRecipe("repro.ledger.recipes:np_prod",
+                           {"shape": (2, 2)})
+        with pytest.raises(ValueError, match="must return a dict"):
+            recipe.build()
+
+    def test_quick_mlp_builds_and_is_deterministic(self):
+        recipe = RunRecipe("repro.ledger.recipes:quick_mlp",
+                           {"n_clients": 8, "participants": 2, "seed": 4})
+        first = recipe.build()
+        second = RunRecipe.from_dict(recipe.to_dict()).build()
+        np.testing.assert_array_equal(
+            first["partition"].client_class_counts,
+            second["partition"].client_class_counts)
+        assert (tuple(first["selector"].select(0))
+                == tuple(second["selector"].select(0)))
+
+    @pytest.mark.parametrize("selector", ["random", "greedy", "dubhe"])
+    def test_quick_mlp_selector_variants(self, selector):
+        recipe = RunRecipe(
+            "repro.ledger.recipes:quick_mlp",
+            {"n_clients": 8, "participants": 2, "seed": 0,
+             "selector": selector})
+        components = recipe.build()
+        assert len(components["selector"].select(0)) == 2
+
+    def test_quick_mlp_rejects_unknown_selector(self):
+        with pytest.raises(ValueError, match="selector must be"):
+            RunRecipe("repro.ledger.recipes:quick_mlp",
+                      {"selector": "mystery"}).build()
+
+    def test_dict_round_trip(self):
+        recipe = RunRecipe("m.o:d", {"x": 1})
+        assert RunRecipe.from_dict(recipe.to_dict()) == recipe
+
+
+class TestBenchmarkContext:
+    def test_context_shape(self):
+        context = benchmark_context()
+        assert context["cpu_count"] >= 1
+        assert isinstance(context["bench"], dict)
+        assert context["python"]
+        sha = context["git_sha"]
+        assert sha is None or len(sha) == 40
+
+    def test_git_sha_outside_repo(self, tmp_path):
+        assert git_sha(tmp_path) is None
+
+    def test_find_bench_files_empty_dir(self, tmp_path):
+        assert find_bench_files(tmp_path) == []
+
+    def test_bench_payloads_embedded(self, tmp_path):
+        (tmp_path / "BENCH_demo.json").write_text(
+            json.dumps({"benchmark": "crypto_throughput", "results": []}))
+        (tmp_path / "BENCH_huge.json").write_text(
+            "[" + ",".join(["1"] * 100_000) + "]")
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        context = benchmark_context(tmp_path)
+        assert context["bench"]["BENCH_demo"]["benchmark"] == "crypto_throughput"
+        assert context["bench"]["BENCH_huge"]["skipped"] is True
+        assert "BENCH_broken" not in context["bench"]

@@ -1,0 +1,182 @@
+"""Crash-safety integration tests: SIGKILL a recording run, then resume it.
+
+The ledger's core promise is that a killed process loses at most the round
+in flight.  These tests exercise it for real: a child process records a run
+into a ledger, the test kills it (SIGKILL — no cleanup, no atexit) once
+enough rounds are durably committed, then resumes from the surviving file
+and asserts the completed trajectory is bit-identical to an uninterrupted
+run of the same configuration.  The parallel variant kills the whole
+process group, taking the worker fleet down with the scheduler.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import numpy as np
+import pytest
+
+from repro.federated.simulation import FederatedConfig, FederatedSimulation
+from repro.ledger import LedgerError, RunLedger, RunRecipe
+
+TOTAL_ROUNDS = 8
+KILL_AFTER = 2  # committed rounds to wait for before killing
+
+RECIPE = RunRecipe("repro.ledger.recipes:quick_mlp",
+                   {"n_clients": 12, "participants": 3, "seed": 0})
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "src")
+
+_CHILD = textwrap.dedent("""
+    import json, sys, time
+    from repro.federated.simulation import FederatedConfig, FederatedSimulation
+    from repro.ledger import RunRecipe
+
+    ledger_path, recipe_json, config_json = sys.argv[1:4]
+    recipe = RunRecipe.from_dict(json.loads(recipe_json))
+    config = FederatedConfig(ledger_path=ledger_path,
+                             **json.loads(config_json))
+    sim = FederatedSimulation(config=config, recipe=recipe, **recipe.build())
+    # the pause after each commit gives the test a window to SIGKILL this
+    # process mid-run; it never changes what gets recorded
+    sim.run(progress=lambda record: time.sleep(0.1))
+""")
+
+
+def spawn_recorder(ledger_path, **config_kwargs):
+    config = dict(rounds=TOTAL_ROUNDS, seed=0)
+    config.update(config_kwargs)
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    return subprocess.Popen(
+        [sys.executable, "-c", _CHILD, ledger_path,
+         json.dumps(RECIPE.to_dict()), json.dumps(config)],
+        env=env, start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+    )
+
+
+def wait_for_rounds(ledger_path, child, minimum, timeout=120.0):
+    """Poll the ledger until *minimum* rounds are durably committed."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if child.poll() is not None:
+            raise AssertionError(
+                "recorder exited early: "
+                + child.stderr.read().decode(errors="replace"))
+        try:
+            with RunLedger(ledger_path, create=False) as ledger:
+                info = ledger.run()
+                if info.rounds_committed >= minimum:
+                    return info.run_id
+        except LedgerError:
+            pass  # ledger (or first run row) not created yet
+        time.sleep(0.01)
+    raise AssertionError(f"no {minimum} committed rounds within {timeout}s")
+
+
+def kill_group(child, sig=signal.SIGKILL):
+    try:
+        os.killpg(os.getpgid(child.pid), sig)
+    except ProcessLookupError:
+        pass
+    child.wait(timeout=30)
+    if child.stderr is not None:
+        child.stderr.close()
+
+
+def uninterrupted_run(**config_kwargs):
+    config = dict(rounds=TOTAL_ROUNDS, seed=0)
+    config.update(config_kwargs)
+    with FederatedSimulation(config=FederatedConfig(**config),
+                             **RECIPE.build()) as sim:
+        history = sim.run()
+        return history, sim.server.global_state()
+
+
+def resume(ledger_path, run_id, **config_kwargs):
+    config = dict(rounds=TOTAL_ROUNDS, seed=0, ledger_path=ledger_path,
+                  run_mode="resume", replay_source_run_id=run_id)
+    config.update(config_kwargs)
+    with FederatedSimulation(config=FederatedConfig(**config), recipe=RECIPE,
+                             **RECIPE.build()) as sim:
+        history = sim.run()
+        return history, sim.server.global_state()
+
+
+@pytest.mark.parametrize("executor_mode", ["sequential", "vectorized"])
+def test_sigkill_mid_run_then_resume_bit_identical(tmp_path, executor_mode):
+    ledger_path = str(tmp_path / "runs.db")
+    child = spawn_recorder(ledger_path, executor_mode=executor_mode)
+    try:
+        run_id = wait_for_rounds(ledger_path, child, KILL_AFTER)
+    finally:
+        kill_group(child)
+
+    with RunLedger(ledger_path, create=False) as ledger:
+        info = ledger.run(run_id)
+        committed = info.rounds_committed
+        assert KILL_AFTER <= committed < TOTAL_ROUNDS  # genuinely interrupted
+        assert info.status == "running"  # the kill never reached finish_run
+        ledger.rounds(run_id)  # the surviving prefix is contiguous and intact
+
+    resumed, resumed_state = resume(ledger_path, run_id,
+                                    executor_mode=executor_mode)
+    reference, reference_state = uninterrupted_run(
+        executor_mode=executor_mode)
+
+    assert len(resumed) == TOTAL_ROUNDS
+    np.testing.assert_array_equal(resumed.accuracies(),
+                                  reference.accuracies())
+    for key in reference_state:
+        np.testing.assert_array_equal(resumed_state[key],
+                                      reference_state[key])
+    with RunLedger(ledger_path, create=False) as ledger:
+        final = ledger.run(run_id)
+        assert final.is_complete()
+        assert final.rounds_committed == TOTAL_ROUNDS
+
+
+def test_kill_parallel_worker_fleet_then_resume(tmp_path):
+    ledger_path = str(tmp_path / "runs.db")
+    child = spawn_recorder(ledger_path, executor_mode="parallel",
+                           num_workers=2)
+    try:
+        run_id = wait_for_rounds(ledger_path, child, KILL_AFTER)
+    finally:
+        kill_group(child)  # SIGKILL the whole group: scheduler AND workers
+
+    # resume on a *different* back-end: determinism holds across executors
+    resumed, resumed_state = resume(ledger_path, run_id,
+                                    executor_mode="sequential")
+    reference, reference_state = uninterrupted_run(executor_mode="sequential")
+    np.testing.assert_array_equal(resumed.accuracies(),
+                                  reference.accuracies())
+    for key in reference_state:
+        np.testing.assert_array_equal(resumed_state[key],
+                                      reference_state[key])
+
+
+def test_verify_after_crash_resume(tmp_path):
+    """The resumed run's full record (pre- and post-kill rounds) verifies."""
+    ledger_path = str(tmp_path / "runs.db")
+    child = spawn_recorder(ledger_path)
+    try:
+        run_id = wait_for_rounds(ledger_path, child, KILL_AFTER)
+    finally:
+        kill_group(child)
+    resume(ledger_path, run_id)
+
+    config = FederatedConfig(rounds=TOTAL_ROUNDS, seed=0,
+                             ledger_path=ledger_path, run_mode="verify",
+                             replay_source_run_id=run_id)
+    with FederatedSimulation(config=config, recipe=RECIPE,
+                             **RECIPE.build()) as sim:
+        sim.run()
+        report = sim.ledger_session.report
+    assert report.ok()
+    assert report.rounds_checked == TOTAL_ROUNDS

@@ -32,6 +32,13 @@ import repro.federated.scheduler
 import repro.federated.server
 import repro.federated.simulation
 import repro.federated.workspace
+import repro.ledger
+import repro.ledger.cli
+import repro.ledger.codec
+import repro.ledger.context
+import repro.ledger.modes
+import repro.ledger.recipes
+import repro.ledger.store
 import repro.nn.batched
 import repro.scenarios.engine
 import repro.scenarios.report
@@ -47,6 +54,13 @@ AUDITED_MODULES = [
     repro.federated.server,
     repro.federated.simulation,
     repro.federated.workspace,
+    repro.ledger,
+    repro.ledger.cli,
+    repro.ledger.codec,
+    repro.ledger.context,
+    repro.ledger.modes,
+    repro.ledger.recipes,
+    repro.ledger.store,
     repro.nn.batched,
     repro.crypto.packing,
     repro.scenarios.engine,
