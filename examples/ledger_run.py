@@ -32,14 +32,14 @@ import tempfile
 
 import numpy as np
 
+from repro.api import Session
 from repro.federated import FederatedConfig, FederatedSimulation
 from repro.ledger import RunLedger, RunRecipe
 
 
 def build_simulation(recipe: RunRecipe, **config_kwargs) -> FederatedSimulation:
     """A simulation built from the recipe, so resume/verify can rebuild it."""
-    return FederatedSimulation(config=FederatedConfig(**config_kwargs),
-                               recipe=recipe, **recipe.build())
+    return Session(FederatedConfig(**config_kwargs)).with_recipe(recipe).build()
 
 
 def main() -> None:

@@ -24,10 +24,10 @@ from repro import (
     DubheConfig,
     DubheSelector,
     FederatedConfig,
-    FederatedSimulation,
     GreedySelector,
     LocalTrainingConfig,
     RandomSelector,
+    Session,
     make_uniform_test_set,
     quick_federation,
     search_thresholds,
@@ -77,13 +77,8 @@ def main() -> None:
             if name == "random"
             else DubheSelector(distributions, search.config, seed=3)
         )
-        sim = FederatedSimulation(
-            partition=partition,
-            generator=generator,
-            model_factory=lambda: MLP(64, 10, hidden=(32,), seed=7),
-            selector=selector,
-            test_set=test_set,
-            config=FederatedConfig(
+        session = Session(
+            FederatedConfig(
                 rounds=10,
                 eval_every=1,
                 local=LocalTrainingConfig(batch_size=8, local_epochs=1, learning_rate=3e-3),
@@ -93,8 +88,15 @@ def main() -> None:
                 executor_mode="vectorized",
                 seed=3,
             ),
+        ).with_federation(
+            partition=partition,
+            generator=generator,
+            model_factory=lambda: MLP(64, 10, hidden=(32,), seed=7),
+            selector=selector,
+            test_set=test_set,
         )
-        history = sim.run()
+        with session:
+            history = session.run().history
         print(
             f"  {name:<7}: final accuracy={history.final_accuracy():.3f}  "
             f"mean round bias={history.mean_population_bias():.3f}"

@@ -26,12 +26,11 @@ from repro import (
     DubheConfig,
     DubheSelector,
     FederatedConfig,
-    FederatedSimulation,
     LocalTrainingConfig,
     ScenarioSpec,
+    Session,
     make_uniform_test_set,
     quick_federation,
-    run_scenario,
 )
 from repro.nn.models import MLP
 from repro.scenarios import AvailabilitySpec, ChurnSpec, DropoutSpec, StragglerSpec
@@ -77,27 +76,25 @@ def main() -> None:
 
     logs: dict[str, list] = {}
     for mode in backends:
-        sim = FederatedSimulation(
-            partition=partition,
-            generator=generator,
-            model_factory=lambda: MLP(64, 10, hidden=(32,), seed=3),
-            selector=DubheSelector(distributions, dubhe, seed=0),
-            test_set=test_set,
-            config=FederatedConfig(
+        session = Session(
+            FederatedConfig(
                 rounds=args.rounds,
                 executor_mode=mode,
                 num_workers=2 if mode == "parallel" else None,
                 local=LocalTrainingConfig(batch_size=8, local_epochs=1,
                                           learning_rate=1e-3),
                 seed=0,
-                scenario=scenario,
             ),
-        )
-        try:
-            report = run_scenario(sim, name=mode)
-            history = sim.history
-        finally:
-            sim.close()
+        ).with_federation(
+            partition=partition,
+            generator=generator,
+            model_factory=lambda: MLP(64, 10, hidden=(32,), seed=3),
+            selector=DubheSelector(distributions, dubhe, seed=0),
+            test_set=test_set,
+        ).with_scenario(scenario, name=mode)
+        with session:
+            report = session.run().report
+            history = session.simulation.history
         assert len(history) == args.rounds, f"{mode} did not complete"
         logs[mode] = [(r.selected_clients, r.participants, dict(r.failures))
                       for r in history.records]

@@ -25,10 +25,10 @@ from repro import (
     DubheConfig,
     DubheSelector,
     FederatedConfig,
-    FederatedSimulation,
     GreedySelector,
     LocalTrainingConfig,
     RandomSelector,
+    Session,
     make_uniform_test_set,
     quick_federation,
     search_thresholds,
@@ -68,19 +68,20 @@ def main() -> None:
     print(f"\nTraining {args.rounds} rounds with each selection method")
     results = {}
     for name in ("random", "dubhe", "greedy"):
-        sim = FederatedSimulation(
-            partition=partition,
-            generator=generator,
-            model_factory=lambda: CifarCNN(3, 8, 10, channels=(8, 16, 16), hidden=32, seed=5),
-            selector=make_selector(name),
-            test_set=test_set,
-            config=FederatedConfig(
+        sim = Session(
+            FederatedConfig(
                 rounds=args.rounds,
                 eval_every=max(1, args.rounds // 20),
                 local=LocalTrainingConfig(batch_size=8, local_epochs=1, learning_rate=2e-3),
                 seed=2,
             ),
-        )
+        ).with_federation(
+            partition=partition,
+            generator=generator,
+            model_factory=lambda: CifarCNN(3, 8, 10, channels=(8, 16, 16), hidden=32, seed=5),
+            selector=make_selector(name),
+            test_set=test_set,
+        ).build()
         history = sim.run(progress=lambda r: print(
             f"  [{name:>6}] round {r.round_index:>3}  "
             f"bias={r.population_bias:.3f}"

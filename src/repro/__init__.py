@@ -19,6 +19,11 @@ Sub-packages
 * :mod:`repro.analysis` — unbiasedness and weight-divergence measurements.
 * :mod:`repro.scenarios` — fault injection (churn, stragglers, dropouts,
   label drift) with partial-round aggregation and robustness reports.
+* :mod:`repro.transport` — the federated service layer: typed protocol
+  messages over a versioned binary wire format, an asyncio TCP server and
+  client, and the in-process transport behind the same interface.
+* :mod:`repro.api` — :class:`~repro.api.Session`, the unified builder
+  entry point for plain, scenario and ledgered runs on any transport.
 
 Quickstart
 ----------
@@ -53,6 +58,7 @@ from .data import (
     make_synthetic_mnist,
     make_uniform_test_set,
 )
+from .api import Session, SessionResult
 from .federated import FederatedConfig, FederatedSimulation, LocalTrainingConfig
 from .scenarios import ScenarioSpec, run_scenario
 
@@ -71,6 +77,8 @@ __all__ = [
     "RegistryCodebook",
     "ScenarioSpec",
     "SecureRegistrationRound",
+    "Session",
+    "SessionResult",
     "__version__",
     "generate_keypair",
     "half_normal_class_proportions",

@@ -1,0 +1,21 @@
+"""The unified front door: ``repro.api.Session`` drives every kind of run.
+
+One builder chain replaces the three historical entry points (direct
+:class:`~repro.federated.FederatedSimulation` construction,
+:func:`repro.scenarios.run_scenario`, and hand-threaded ledger config)::
+
+    from repro.api import Session
+
+    result = (Session(config)
+              .with_recipe("repro.ledger.recipes:quick_mlp", n_clients=16)
+              .with_scenario(spec)
+              .with_ledger("runs.db")
+              .run(rounds=20))
+
+See :mod:`repro.api.session` for the migration table and
+``docs/session.md`` for the narrative guide.
+"""
+
+from .session import Session, SessionResult
+
+__all__ = ["Session", "SessionResult"]

@@ -1,0 +1,356 @@
+""":class:`Session` — the one builder that drives every kind of run.
+
+Before PR 8 the repo had three divergent entry points: construct a
+:class:`~repro.federated.FederatedSimulation` directly, wrap it in
+:func:`repro.scenarios.run_scenario` for a fault report, or thread ledger
+fields through the config for record/resume/verify.  :class:`Session`
+unifies them behind one chain::
+
+    result = (Session(config)
+              .with_federation(partition=..., generator=..., model_factory=...,
+                               selector=..., test_set=...)
+              .with_scenario(spec)
+              .with_ledger("runs.db")
+              .run(rounds=20))
+    result.history      # TrainingHistory — always
+    result.report       # ScenarioReport — when a scenario was attached
+    result.run_id       # ledger run id — when a ledger was attached
+
+Migration table (old → new):
+
+=============================================  =======================================
+``FederatedSimulation(..., config=c).run(n)``  ``Session(c).with_federation(...).run(n)``
+``run_scenario(sim, n, name)``                 ``Session(c).with_scenario(spec, name=name)...run(n)``
+``FederatedConfig(ledger_path=p, run_mode=m)`` ``Session(c).with_ledger(p, run_mode=m)``
+``FederatedConfig(executor_mode=m)``           ``Session(c).with_executor(mode=m)``
+``(no old spelling)``                          ``Session(c).with_transport(kind="socket")``
+=============================================  =======================================
+
+The old entry points keep working as thin delegating wrappers that emit
+:class:`DeprecationWarning`; ``Session`` itself never trips those shims.
+Every transport (in-process back-ends and the asyncio socket layer) runs
+through this same code path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.config import ExecutorConfig, LedgerConfig, TransportConfig
+from ..federated.simulation import (_EXECUTOR_ALIASES, _LEDGER_ALIASES,
+                                    FederatedConfig, FederatedSimulation,
+                                    _session_entry)
+
+__all__ = ["Session", "SessionResult"]
+
+#: the component kwargs a simulation needs (mirrors FederatedSimulation)
+_COMPONENT_KEYS = ("partition", "generator", "model_factory", "selector",
+                   "test_set")
+
+_GROUP_ALIASES = {"executor": _EXECUTOR_ALIASES, "ledger": _LEDGER_ALIASES}
+
+
+def _amend(config: FederatedConfig, **changes) -> FederatedConfig:
+    """A copy of *config* with *changes*, safe across flat/nested aliasing.
+
+    ``dataclasses.replace`` would carry both a group's old flat spellings
+    and a new group object into ``__post_init__`` and trip the conflict
+    check; this helper drops the flat aliases of any group being replaced so
+    the new group simply wins.
+    """
+    kwargs = {
+        f.name: getattr(config, f.name)
+        for f in dataclasses.fields(FederatedConfig)
+        if f.name not in ("executor", "ledger")
+    }
+    for group, aliases in _GROUP_ALIASES.items():
+        if group in changes:
+            for flat in aliases:
+                kwargs.pop(flat, None)
+    kwargs.update(changes)
+    return FederatedConfig(**kwargs)
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """What one :meth:`Session.run` produced.
+
+    ``history`` is always present; ``report`` only when the session carried
+    a scenario; ``run_id`` only when it recorded to a ledger.
+
+    Example
+    -------
+    >>> # result = Session(config).with_federation(**parts).run(5)
+    >>> # result.history.final_accuracy(), result.report, result.run_id
+    >>> SessionResult.__dataclass_fields__["run_id"].default is None
+    True
+    """
+
+    history: object
+    report: Optional[object] = None
+    run_id: Optional[str] = None
+
+
+class Session:
+    """Builder-style front door for federated runs (see the module docstring).
+
+    The ``with_*`` methods refine the configuration and return ``self`` for
+    chaining; :meth:`build` materialises the simulation exactly once (later
+    ``with_*`` calls are an error), and :meth:`run` drives it end to end.
+    Sessions are context managers — the simulation is closed on exit.
+
+    Example
+    -------
+    >>> from repro import FederatedConfig
+    >>> session = Session(FederatedConfig(rounds=2, seed=0))
+    >>> session.with_executor(mode="vectorized") is session
+    True
+    >>> session.config.executor_mode
+    'vectorized'
+    """
+
+    def __init__(self, config: Optional[FederatedConfig] = None, *,
+                 recipe=None, scenario_name: str = "scenario", **components):
+        unknown = set(components) - set(_COMPONENT_KEYS)
+        if unknown:
+            raise TypeError(f"unknown component kwargs: {sorted(unknown)}")
+        self._config = config or FederatedConfig()
+        if not isinstance(self._config, FederatedConfig):
+            raise TypeError("config must be a FederatedConfig (or None)")
+        self._components = dict(components)
+        self._recipe = recipe
+        self._scenario_name = scenario_name
+        self._simulation: Optional[FederatedSimulation] = None
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def config(self) -> FederatedConfig:
+        """The session's resolved configuration so far.
+
+        Example
+        -------
+        >>> Session().config.rounds
+        20
+        """
+        return self._config
+
+    @property
+    def simulation(self) -> Optional[FederatedSimulation]:
+        """The built simulation (``None`` before :meth:`build`).
+
+        Example
+        -------
+        >>> Session().simulation is None
+        True
+        """
+        return self._simulation
+
+    # -- builder steps ---------------------------------------------------------
+
+    def _amend_config(self, **changes) -> "Session":
+        if self._simulation is not None:
+            raise RuntimeError(
+                "this Session already built its simulation; configure "
+                "before build()/run()"
+            )
+        self._config = _amend(self._config, **changes)
+        return self
+
+    def with_federation(self, *, partition, generator, model_factory,
+                        selector, test_set) -> "Session":
+        """Provide the federation's components (who trains on what).
+
+        Example
+        -------
+        >>> # Session(config).with_federation(partition=p, generator=g,
+        >>> #     model_factory=make, selector=s, test_set=t)
+        >>> "partition" in _COMPONENT_KEYS
+        True
+        """
+        if self._simulation is not None:
+            raise RuntimeError("this Session already built its simulation")
+        self._components = dict(partition=partition, generator=generator,
+                                model_factory=model_factory,
+                                selector=selector, test_set=test_set)
+        return self
+
+    def with_recipe(self, target, **kwargs) -> "Session":
+        """Provide the federation through an importable ledger recipe.
+
+        *target* is a :class:`~repro.ledger.codec.RunRecipe` or a
+        ``"package.module:function"`` string; the recipe is also recorded
+        next to any ledgered run, which is what makes cold-process
+        resume/verify possible.
+
+        Example
+        -------
+        >>> session = Session().with_recipe("repro.ledger.recipes:quick_mlp",
+        ...                                 n_clients=8, seed=0)
+        >>> session._recipe.target
+        'repro.ledger.recipes:quick_mlp'
+        """
+        from ..ledger.codec import RunRecipe
+
+        if self._simulation is not None:
+            raise RuntimeError("this Session already built its simulation")
+        if isinstance(target, RunRecipe):
+            if kwargs:
+                raise TypeError("pass kwargs inside the RunRecipe")
+            self._recipe = target
+        else:
+            self._recipe = RunRecipe(target, kwargs)
+        return self
+
+    def with_scenario(self, spec, name: str = "scenario") -> "Session":
+        """Attach a fault-injection scenario; :meth:`run` then returns a report.
+
+        Example
+        -------
+        >>> from repro.scenarios import ScenarioSpec
+        >>> session = Session().with_scenario(ScenarioSpec(seed=1), name="churn")
+        >>> session.config.scenario.seed
+        1
+        """
+        self._scenario_name = name
+        return self._amend_config(scenario=spec)
+
+    def with_ledger(self, path: str, run_mode: str = "live",
+                    source_run_id: Optional[str] = None,
+                    run_name: Optional[str] = None) -> "Session":
+        """Record to (or resume/verify from) a run ledger at *path*.
+
+        Example
+        -------
+        >>> session = Session().with_ledger("/tmp/runs.db", run_name="demo")
+        >>> session.config.ledger_path
+        '/tmp/runs.db'
+        """
+        return self._amend_config(ledger=LedgerConfig(
+            path=path, run_mode=run_mode,
+            replay_source_run_id=source_run_id, run_name=run_name))
+
+    def with_executor(self, executor: Optional[ExecutorConfig] = None,
+                      **knobs) -> "Session":
+        """Choose the execution back-end group (mode, workers, dtype, ...).
+
+        Example
+        -------
+        >>> Session().with_executor(mode="parallel",
+        ...                         num_workers=2).config.num_workers
+        2
+        """
+        if executor is not None and knobs:
+            raise TypeError("pass either an ExecutorConfig or knobs, not both")
+        return self._amend_config(
+            executor=executor if executor is not None else ExecutorConfig(**knobs))
+
+    def with_transport(self, transport: Optional[TransportConfig] = None,
+                       **knobs) -> "Session":
+        """Choose the service layer (in-process, or the asyncio socket server).
+
+        Example
+        -------
+        >>> Session().with_transport(kind="socket",
+        ...                          round_timeout=5.0).config.transport.kind
+        'socket'
+        """
+        if transport is not None and knobs:
+            raise TypeError("pass either a TransportConfig or knobs, not both")
+        return self._amend_config(
+            transport=transport if transport is not None
+            else TransportConfig(**knobs))
+
+    # -- execution -------------------------------------------------------------
+
+    def build(self) -> FederatedSimulation:
+        """Materialise the simulation (once) without running it.
+
+        Components come from :meth:`with_federation` or, failing that, from
+        the recipe; this is the only supported constructor path — it never
+        emits the direct-construction :class:`DeprecationWarning`.
+
+        Example
+        -------
+        >>> session = Session().with_recipe("repro.ledger.recipes:quick_mlp",
+        ...                                 n_clients=8, participants=2, seed=0)
+        >>> session.build() is session.simulation
+        True
+        >>> session.close()
+        """
+        if self._simulation is not None:
+            return self._simulation
+        components = self._components
+        if not components:
+            if self._recipe is None:
+                raise ValueError(
+                    "no federation to run: call with_federation(...) or "
+                    "with_recipe(...) first"
+                )
+            components = self._recipe.build()
+            components = {key: components[key] for key in _COMPONENT_KEYS}
+        missing = [key for key in _COMPONENT_KEYS if key not in components]
+        if missing:
+            raise ValueError(f"with_federation is missing {missing}")
+        _session_entry.active = True
+        try:
+            self._simulation = FederatedSimulation(
+                config=self._config, recipe=self._recipe, **components)
+        finally:
+            _session_entry.active = False
+        return self._simulation
+
+    def run(self, rounds: Optional[int] = None) -> SessionResult:
+        """Drive the run end to end and collect every artefact.
+
+        Example
+        -------
+        >>> session = Session(None).with_recipe(
+        ...     "repro.ledger.recipes:quick_mlp", n_clients=8, participants=2,
+        ...     seed=0)
+        >>> result = session.run(rounds=1)
+        >>> len(result.history)
+        1
+        >>> session.close()
+        """
+        simulation = self.build()
+        report = None
+        if self._config.scenario is not None:
+            from ..scenarios.report import _run_scenario_impl
+
+            report = _run_scenario_impl(simulation, rounds,
+                                        name=self._scenario_name)
+            history = simulation.history
+        else:
+            history = simulation.run(rounds)
+        run_id = (simulation.ledger_session.run_id
+                  if simulation.ledger_session is not None else None)
+        return SessionResult(history=history, report=report,
+                             run_id=run_id or None)
+
+    def close(self) -> None:
+        """Close the built simulation (a no-op before :meth:`build`).
+
+        Example
+        -------
+        >>> Session().close()
+        """
+        if self._simulation is not None:
+            self._simulation.close()
+
+    def __enter__(self) -> "Session":
+        """Context-manager entry.
+
+        Example
+        -------
+        >>> with Session() as session:
+        ...     session.config.rounds
+        20
+        """
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close the simulation."""
+        self.close()

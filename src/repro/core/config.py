@@ -18,16 +18,21 @@ from ..crypto.paillier import DEFAULT_KEY_SIZE
 
 __all__ = [
     "DubheConfig",
+    "ExecutorConfig",
     "GROUP1_REFERENCE_SET",
     "GROUP2_REFERENCE_SET",
+    "LedgerConfig",
     "RUNTIME_DTYPES",
     "RUN_MODES",
     "SHARD_POLICIES",
+    "TRANSPORT_KINDS",
+    "TransportConfig",
     "partition_cohort",
     "resolve_num_workers",
     "resolve_run_mode",
     "resolve_runtime_dtype",
     "resolve_shard_policy",
+    "resolve_transport_kind",
 ]
 
 #: Reference set used by the paper for the 10-class experiments (MNIST/CIFAR10).
@@ -170,6 +175,154 @@ def partition_cohort(num_clients: int, num_workers: int,
     sizes = [base + (1 if s < extra else 0) for s in range(shards)]
     bounds = np.cumsum([0] + sizes)
     return [np.arange(bounds[s], bounds[s + 1]) for s in range(shards)]
+
+
+#: How a federated run talks to its clients.  ``"inprocess"`` (default) runs
+#: the round loop against the in-process execution back-ends
+#: (:class:`repro.transport.InProcessTransport` wrapping
+#: :class:`repro.federated.LocalUpdateExecutor`); ``"socket"`` promotes the
+#: round protocol to the asyncio TCP service layer
+#: (:class:`repro.transport.SocketTransport`), where every client is a remote
+#: peer speaking the versioned wire format.
+TRANSPORT_KINDS: tuple[str, ...] = ("inprocess", "socket")
+
+
+def resolve_transport_kind(kind: str) -> str:
+    """Validate a transport-kind knob against :data:`TRANSPORT_KINDS`.
+
+    Example
+    -------
+    >>> resolve_transport_kind("inprocess")
+    'inprocess'
+    """
+    if kind not in TRANSPORT_KINDS:
+        raise ValueError(
+            f"transport kind must be one of {TRANSPORT_KINDS}, got {kind!r}"
+        )
+    return kind
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """The execution-back-end group of a federated run's configuration.
+
+    Groups every knob that selects *how local updates run* — the back-end
+    (:data:`repro.federated.EXECUTOR_MODES`), the parallel scheduler's fleet
+    geometry, the cohort runtime precision, the shared dataset pool and the
+    server's evaluation back-end.  ``FederatedConfig`` accepts either this
+    nested group (``FederatedConfig(executor=ExecutorConfig(mode=...))``) or
+    the original flat kwargs (``FederatedConfig(executor_mode=...)``) — the
+    two spellings resolve identically.
+
+    Example
+    -------
+    >>> ExecutorConfig(mode="parallel", num_workers=2).shard_policy
+    'contiguous'
+    """
+
+    mode: str = "sequential"
+    num_workers: Optional[int] = None
+    shard_policy: str = "contiguous"
+    scheduler_timeout: Optional[float] = 120.0
+    dtype: str = "float64"
+    dataset_cache_size: Optional[int] = 1024
+    eval_backend: str = "batched"
+
+    def __post_init__(self) -> None:
+        # per-field checks only; cross-field rules (num_workers requires the
+        # parallel back-end, ...) stay in FederatedConfig, which validates
+        # the synced flat fields either way
+        from ..federated.executor import EXECUTOR_MODES  # lazy: no cycle
+
+        if self.mode not in EXECUTOR_MODES:
+            raise ValueError(
+                f"executor mode must be one of {EXECUTOR_MODES}, got "
+                f"{self.mode!r}"
+            )
+        resolve_shard_policy(self.shard_policy)
+        resolve_runtime_dtype(self.dtype)
+
+
+@dataclass(frozen=True)
+class LedgerConfig:
+    """The run-ledger group of a federated run's configuration.
+
+    Groups the :mod:`repro.ledger` plumbing: where the SQLite ledger lives,
+    which run mode drives the session (:data:`RUN_MODES`), which recorded
+    run to resume/verify and how to label a fresh one.  Accepted by
+    ``FederatedConfig(ledger=...)`` next to the original flat kwargs
+    (``ledger_path=...``, ``run_mode=...``, ...).
+
+    Example
+    -------
+    >>> LedgerConfig(path="runs.db", run_mode="live").replay_source_run_id
+    """
+
+    path: Optional[str] = None
+    run_mode: str = "live"
+    replay_source_run_id: Optional[str] = None
+    run_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        resolve_run_mode(self.run_mode)
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """The service-layer group of a federated run's configuration.
+
+    ``kind`` picks the transport (:data:`TRANSPORT_KINDS`).  The remaining
+    fields only matter for ``"socket"``: ``host``/``port`` are the server's
+    bind address (``port=0`` binds an ephemeral port, read back from
+    :attr:`repro.transport.SocketTransport.address`);
+    ``round_timeout`` is the per-client collection deadline in seconds — a
+    client whose :class:`~repro.transport.messages.ModelDelta` misses it is
+    dropped from the round as a ``"straggler"`` (``None`` waits forever);
+    ``connect_timeout`` bounds how long a round waits for the cohort's
+    clients to register; ``retries``/``backoff`` shape the exponential
+    backoff (``backoff * 2**attempt`` seconds) used both by the server while
+    waiting for registrations and by :class:`repro.transport.TransportClient`
+    when connecting; ``send_queue`` bounds each connection's outbound
+    message queue (backpressure: senders block rather than buffer without
+    limit); ``max_frame_bytes`` caps a single wire frame;
+    ``min_participation`` is the partial-round floor applied when real
+    timeouts (not an injected scenario) shrink the cohort.
+
+    Example
+    -------
+    >>> TransportConfig(kind="socket", round_timeout=5.0).host
+    '127.0.0.1'
+    """
+
+    kind: str = "inprocess"
+    host: str = "127.0.0.1"
+    port: int = 0
+    round_timeout: Optional[float] = 60.0
+    connect_timeout: float = 10.0
+    retries: int = 5
+    backoff: float = 0.05
+    send_queue: int = 32
+    max_frame_bytes: int = 1 << 28
+    min_participation: float = 0.0
+
+    def __post_init__(self) -> None:
+        resolve_transport_kind(self.kind)
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must lie in [0, 65535]")
+        if self.round_timeout is not None and self.round_timeout <= 0:
+            raise ValueError("round_timeout must be positive (or None)")
+        if self.connect_timeout <= 0:
+            raise ValueError("connect_timeout must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.send_queue < 1:
+            raise ValueError("send_queue must be positive")
+        if self.max_frame_bytes < 1024:
+            raise ValueError("max_frame_bytes must be at least 1024")
+        if not 0.0 <= self.min_participation <= 1.0:
+            raise ValueError("min_participation must lie in [0, 1]")
 
 
 @dataclass(frozen=True)

@@ -15,12 +15,15 @@ Dubhe "pluggable"; the code structure mirrors that).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+import warnings
+from dataclasses import dataclass, field, fields
 from typing import Callable, Optional, Protocol, Sequence
 
 import numpy as np
 
-from ..core.config import (resolve_run_mode, resolve_runtime_dtype,
+from ..core.config import (ExecutorConfig, LedgerConfig, TransportConfig,
+                           resolve_run_mode, resolve_runtime_dtype,
                            resolve_shard_policy)
 from ..data.cohort import DatasetCache
 from ..data.dataset import ArrayDataset
@@ -36,6 +39,29 @@ from .history import RoundRecord, TrainingHistory
 from .server import EVAL_BACKENDS, FederatedServer
 
 __all__ = ["ClientSelectorProtocol", "FederatedConfig", "FederatedSimulation"]
+
+#: flat FederatedConfig field → its home in the nested ExecutorConfig group
+_EXECUTOR_ALIASES = {
+    "executor_mode": "mode",
+    "num_workers": "num_workers",
+    "shard_policy": "shard_policy",
+    "scheduler_timeout": "scheduler_timeout",
+    "dtype": "dtype",
+    "dataset_cache_size": "dataset_cache_size",
+    "eval_backend": "eval_backend",
+}
+
+#: flat FederatedConfig field → its home in the nested LedgerConfig group
+_LEDGER_ALIASES = {
+    "ledger_path": "path",
+    "run_mode": "run_mode",
+    "replay_source_run_id": "replay_source_run_id",
+    "run_name": "run_name",
+}
+
+#: set while repro.api.Session is the constructor — the facade is the
+#: supported entry point, so it must not trip its own deprecation shim
+_session_entry = threading.local()
 
 
 class ClientSelectorProtocol(Protocol):
@@ -84,12 +110,26 @@ class FederatedConfig:
     recorded run to resume/verify (default: the ledger's most recent);
     ``run_name`` labels a freshly recorded run.
 
+    The flat executor/ledger knobs are also available as nested groups —
+    ``executor`` (:class:`~repro.core.config.ExecutorConfig`), ``ledger``
+    (:class:`~repro.core.config.LedgerConfig`) and ``transport``
+    (:class:`~repro.core.config.TransportConfig`, the service layer's
+    socket/timeout knobs, which have no flat spelling).  Either spelling
+    resolves identically: a nested group fills the matching flat fields,
+    flat kwargs fill the group, and naming the same knob differently in
+    both spellings is an error.
+
     Example
     -------
     >>> config = FederatedConfig(rounds=5, executor_mode="parallel",
     ...                          num_workers=2, seed=0)
     >>> config.shard_policy
     'contiguous'
+    >>> config.executor.mode
+    'parallel'
+    >>> from repro.core.config import ExecutorConfig
+    >>> FederatedConfig(executor=ExecutorConfig(mode="parallel")).executor_mode
+    'parallel'
     """
 
     rounds: int = 20
@@ -108,8 +148,39 @@ class FederatedConfig:
     ledger_path: Optional[str] = None
     replay_source_run_id: Optional[str] = None
     run_name: Optional[str] = None
+    executor: Optional[ExecutorConfig] = None
+    ledger: Optional[LedgerConfig] = None
+    transport: Optional[TransportConfig] = None
+
+    def _sync_group(self, name: str, group_cls, aliases: "dict[str, str]") -> None:
+        """Reconcile one nested group with its flat aliases (both ways)."""
+        group = getattr(self, name)
+        if group is None:
+            object.__setattr__(self, name, group_cls(**{
+                nested: getattr(self, flat) for flat, nested in aliases.items()
+            }))
+            return
+        if not isinstance(group, group_cls):
+            raise TypeError(f"{name} must be a {group_cls.__name__} (or None)")
+        defaults = {f.name: f.default for f in fields(type(self))}
+        for flat, nested in aliases.items():
+            flat_value = getattr(self, flat)
+            group_value = getattr(group, nested)
+            if flat_value != defaults[flat] and flat_value != group_value:
+                raise ValueError(
+                    f"conflicting configuration: {flat}={flat_value!r} and "
+                    f"{name}.{nested}={group_value!r} name the same knob; "
+                    "use one spelling"
+                )
+            object.__setattr__(self, flat, group_value)
 
     def __post_init__(self) -> None:
+        self._sync_group("executor", ExecutorConfig, _EXECUTOR_ALIASES)
+        self._sync_group("ledger", LedgerConfig, _LEDGER_ALIASES)
+        if self.transport is None:
+            object.__setattr__(self, "transport", TransportConfig())
+        elif not isinstance(self.transport, TransportConfig):
+            raise TypeError("transport must be a TransportConfig (or None)")
         if self.rounds < 1:
             raise ValueError("rounds must be positive")
         if self.eval_every < 1:
@@ -189,15 +260,25 @@ class FederatedSimulation:
         self.selector = selector
         self.test_set = test_set
         self.config = config or FederatedConfig()
+        if not getattr(_session_entry, "active", False):
+            warnings.warn(
+                "constructing FederatedSimulation directly is deprecated; "
+                "drive runs through repro.api.Session (see docs/session.md "
+                "for the migration table)",
+                DeprecationWarning, stacklevel=2,
+            )
         self.server = FederatedServer(model_factory,
                                       eval_backend=self.config.eval_backend)
-        self.executor = LocalUpdateExecutor(
-            self.config.executor_mode,
-            dtype=self.config.dtype,
-            num_workers=self.config.num_workers,
-            shard_policy=self.config.shard_policy,
-            scheduler_timeout=self.config.scheduler_timeout,
-        )
+        from ..transport.base import build_transport
+
+        #: the seam every round speaks to: in-process executors or sockets
+        self.transport = build_transport(self.config.transport,
+                                         self.config.executor)
+        #: the in-process LocalUpdateExecutor when there is one (None over
+        #: sockets); kept as a first-class attribute because scheduler and
+        #: workspace telemetry live here
+        self.executor: Optional[LocalUpdateExecutor] = getattr(
+            self.transport, "executor", None)
         self.dataset_cache = (
             None if self.config.dataset_cache_size is None
             else DatasetCache(self.config.dataset_cache_size)
@@ -282,11 +363,16 @@ class FederatedSimulation:
             trainable = list(plan.trainable)
             faults = plan.cohort_faults()
 
+        probabilities = getattr(self.selector, "probabilities", None)
+        if probabilities is not None:
+            self.transport.broadcast_probabilities(
+                round_index, np.asarray(probabilities, dtype=float).tolist())
+
         clients = [self.client(k) for k in trainable]
         # read-only views: every executor back-end copies the state on load,
         # so one shared global state serves all K workers without K deep copies
         global_state = self.server.global_state(copy=False)
-        states = self.executor.run_round(
+        states = self.transport.run_round(
             clients, self.server.new_client_model, global_state, self.config.local,
             round_index=round_index, faults=faults,
         )
@@ -294,17 +380,24 @@ class FederatedSimulation:
         actual_clients: Optional[tuple[int, ...]] = None
         failures: dict[int, str] = {}
         actual_bias: Optional[float] = None
-        if self.injector is None:
+        transport_failures = dict(self.transport.last_round_failures)
+        if self.injector is None and not transport_failures:
             self.server.aggregate(states)
         else:
-            failures = dict(plan.failures_by_client())
-            for position, cause in self.executor.last_round_failures.items():
+            failures = dict(plan.failures_by_client()) if plan is not None else {}
+            for position, cause in transport_failures.items():
                 failures[trainable[position]] = cause
             actual_clients = tuple(k for k in trainable if k not in failures)
+            # injected scenarios carry their own participation floor; real
+            # transport failures (socket stragglers/disconnects) fall back to
+            # the transport group's floor
+            floor = (self.config.scenario.min_participation
+                     if self.config.scenario is not None
+                     else self.config.transport.min_participation)
             self.server.aggregate(
                 states,
                 expected_count=len(selected),
-                min_participation=self.config.scenario.min_participation,
+                min_participation=floor,
             )
             actual_bias = (
                 float("nan") if not actual_clients
@@ -324,12 +417,13 @@ class FederatedSimulation:
             test_accuracy=accuracy,
             actual_clients=actual_clients,
             failures=failures,
-            fallback_reason=self.executor.last_fallback_reason,
+            fallback_reason=self.transport.last_fallback_reason,
             aggregation_skipped=self.server.last_aggregation_skipped,
             actual_population_bias=actual_bias,
-            round_delay=self.executor.last_round_delay,
+            round_delay=self.transport.last_round_delay,
             drift_applied=drift_applied,
         )
+        self.transport.on_round_complete(record)
         self.history.append(record)
         if self.ledger_session is not None:
             self.ledger_session.on_round(record, self.server.global_state())
@@ -428,19 +522,26 @@ class FederatedSimulation:
     def close(self) -> None:
         """Release round-persistent runtime state (idempotent).
 
-        Shuts down the parallel scheduler's worker processes (if the run
-        used ``executor_mode="parallel"``) and drops the server's cached
-        batched evaluator.  The simulation stays usable — the next round
-        simply rebuilds what it needs — so this is about not leaking worker
-        processes past the simulation's useful life.  Simulations also work
+        Closes the transport (shutting down the parallel scheduler's worker
+        processes in process, or the asyncio socket server — cancelling any
+        round still pending on the loop), drops the server's cached batched
+        evaluator and releases the attached ledger session's SQLite
+        connection (committed rounds are already durable).  The three
+        teardowns are chained so a failure in one never leaks the others'
+        resources, and every one is idempotent — closing a transport- or
+        ledger-wrapped simulation twice, or while its server loop still
+        holds a pending round, is safe.  The simulation stays usable — the
+        next round simply rebuilds what it needs.  Simulations also work
         as context managers: ``with FederatedSimulation(...) as sim: ...``.
-        Closes the attached ledger session too (committed rounds are already
-        durable; closing only releases the SQLite connection).
         """
-        self.executor.close()
-        self.server.close()
-        if self.ledger_session is not None:
-            self.ledger_session.close()
+        try:
+            self.transport.close()
+        finally:
+            try:
+                self.server.close()
+            finally:
+                if self.ledger_session is not None:
+                    self.ledger_session.close()
 
     def __enter__(self) -> "FederatedSimulation":
         return self

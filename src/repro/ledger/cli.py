@@ -101,7 +101,7 @@ def _show(ledger: RunLedger, run_id: Optional[str]) -> int:
 def _build_simulation(path: str, info: RunInfo, run_mode: str,
                       executor_mode: Optional[str],
                       recipe_override: Optional[RunRecipe]):
-    from ..federated.simulation import FederatedSimulation
+    from ..api import Session
 
     recipe = recipe_override
     if recipe is None:
@@ -123,8 +123,7 @@ def _build_simulation(path: str, info: RunInfo, run_mode: str,
         if executor_mode != "parallel":
             overrides.update(num_workers=None, shard_policy="contiguous")
     config = config_from_dict(info.config, **overrides)
-    components = recipe.build()
-    return FederatedSimulation(config=config, recipe=recipe, **components)
+    return Session(config).with_recipe(recipe).build()
 
 
 def _verify(path: str, ledger: RunLedger, run_id: Optional[str],

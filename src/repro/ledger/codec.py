@@ -46,6 +46,12 @@ __all__ = [
 #: are therefore excluded from the recorded run configuration.
 LEDGER_FIELDS = ("run_mode", "ledger_path", "replay_source_run_id", "run_name")
 
+#: FederatedConfig's nested config groups.  They mirror (or, for transport,
+#: extend) the flat fields, so recording them would duplicate every knob and
+#: change the recorded schema; the flat form stays the canonical record and
+#: the groups are rebuilt from it on load.
+GROUP_FIELDS = ("executor", "ledger", "transport")
+
 #: Recorded-config keys that determine a run's numeric results.  RESUME and
 #: VERIFY require these to match between the recorded run and the current
 #: simulation; executor knobs (back-end, workers, cache sizes) are absent on
@@ -165,7 +171,7 @@ def config_to_dict(config) -> dict:
     (3, False)
     """
     payload = dataclasses.asdict(config)
-    for name in LEDGER_FIELDS:
+    for name in LEDGER_FIELDS + GROUP_FIELDS:
         payload.pop(name, None)
     payload["scenario"] = scenario_to_dict(config.scenario)
     return payload
@@ -189,6 +195,8 @@ def config_from_dict(payload: Mapping, **overrides):
     from ..federated.simulation import FederatedConfig
 
     kwargs = dict(payload)
+    for name in GROUP_FIELDS:  # tolerate payloads that recorded the groups
+        kwargs.pop(name, None)
     kwargs["local"] = LocalTrainingConfig(**kwargs["local"])
     kwargs["scenario"] = scenario_from_dict(kwargs.get("scenario"))
     kwargs.update(overrides)

@@ -17,6 +17,7 @@ inside the functions to keep :mod:`repro.scenarios` import-light.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
 
@@ -107,6 +108,31 @@ class ScenarioReport:
 
 def run_scenario(simulation, rounds: Optional[int] = None,
                  name: str = "scenario") -> ScenarioReport:
+    """Deprecated spelling of a scenario run — prefer :class:`repro.api.Session`.
+
+    ``Session(config).with_scenario(spec, name=name)...run(rounds)`` produces
+    the same :class:`ScenarioReport` (as ``result.report``) through the
+    unified entry point; see ``docs/session.md`` for the migration table.
+    This wrapper delegates unchanged and emits a :class:`DeprecationWarning`.
+
+    Example
+    -------
+    >>> # sim = FederatedSimulation(..., config=FederatedConfig(scenario=spec))
+    >>> # report = run_scenario(sim, rounds=20, name="churn+dropout")
+    >>> # report.summary()["skipped_rounds"]
+    """
+    warnings.warn(
+        "run_scenario is deprecated; drive scenario runs through "
+        "repro.api.Session.with_scenario (see docs/session.md for the "
+        "migration table)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_scenario_impl(simulation, rounds, name=name)
+
+
+def _run_scenario_impl(simulation, rounds: Optional[int] = None,
+                       name: str = "scenario") -> ScenarioReport:
     """Run a (scenario-configured) simulation and reduce it to a report.
 
     *simulation* is a :class:`~repro.federated.FederatedSimulation` whose
@@ -115,12 +141,6 @@ def run_scenario(simulation, rounds: Optional[int] = None,
     The simulation is left open (callers own its lifecycle).  When the
     simulation records to a run ledger (:mod:`repro.ledger`), the report's
     summary and *name* are attached to the recorded run's row.
-
-    Example
-    -------
-    >>> # sim = FederatedSimulation(..., config=FederatedConfig(scenario=spec))
-    >>> # report = run_scenario(sim, rounds=20, name="churn+dropout")
-    >>> # report.summary()["skipped_rounds"]
     """
     from ..analysis.emd import baseline_global_bias  # lazy: avoids import cycle
 
@@ -182,8 +202,8 @@ def compare_selectors(make_simulation: Callable[[str], object],
     for selector_name in names:
         simulation = make_simulation(selector_name)
         try:
-            reports[selector_name] = run_scenario(simulation, rounds,
-                                                  name=selector_name)
+            reports[selector_name] = _run_scenario_impl(simulation, rounds,
+                                                        name=selector_name)
         finally:
             close = getattr(simulation, "close", None)
             if close is not None:

@@ -1,0 +1,184 @@
+"""The asyncio client peer: a :class:`~repro.federated.client.FederatedClient`
+behind a socket.
+
+:class:`TransportClient` is the remote half of the service layer: it owns one
+local :class:`~repro.federated.client.FederatedClient` (the dataset and the
+deterministic local trainer) plus a model factory, connects to a
+:class:`~repro.transport.server.SocketTransport` with exponential-backoff
+retries, registers, and then serves the protocol loop — every
+:class:`~repro.transport.messages.SelectionNotice` is answered with a locally
+trained :class:`~repro.transport.messages.ModelDelta` until the server says
+:class:`~repro.transport.messages.Shutdown`.
+
+Because :meth:`FederatedClient.local_train` seeds its data loader purely from
+``(client seed, round_index)`` and starts from the broadcast global state, a
+remote update is bit-identical to the one the in-process executor would have
+produced — the property the loopback tests assert end-to-end.
+
+``delay`` / ``delay_round`` simulate a straggler: the client sleeps before
+replying, so a server-side ``round_timeout`` turns it into a real
+``"straggler"`` partial round (the transport-smoke CI path).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Iterable, Optional, Tuple
+
+from ..federated.client import FederatedClient
+from ..nn.module import Module
+from .messages import (
+    ErrorNotice,
+    ModelDelta,
+    PackedCiphertextUpload,
+    ProbabilityBroadcast,
+    Register,
+    RegisterAck,
+    RoundResult,
+    SelectionNotice,
+    Shutdown,
+    encode_message,
+)
+from .server import TransportError, _read_message
+
+__all__ = ["TransportClient"]
+
+
+class TransportClient:
+    """One federated client served over a TCP connection.
+
+    Parameters mirror the server's :class:`~repro.core.config.TransportConfig`
+    knobs where they matter client-side: ``retries`` / ``backoff`` govern the
+    connect loop (``backoff * 2**attempt`` sleep between attempts),
+    ``max_frame_bytes`` caps inbound frames.
+
+    Example
+    -------
+    >>> # server side: transport = SocketTransport(...); transport.start()
+    >>> # client side (its own thread or process):
+    >>> # TransportClient(client, model_factory, *transport.address).run()
+    >>> TransportClient.__name__
+    'TransportClient'
+    """
+
+    def __init__(self, client: FederatedClient,
+                 model_factory: Callable[[], Module],
+                 host: str, port: int,
+                 retries: int = 5, backoff: float = 0.05,
+                 max_frame_bytes: int = 1 << 28,
+                 delay: float = 0.0, delay_round: Optional[int] = None,
+                 uploads: Optional[Iterable[Tuple[str, object]]] = None):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.client = client
+        self.model_factory = model_factory
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff = backoff
+        self.max_frame_bytes = max_frame_bytes
+        self.delay = delay
+        self.delay_round = delay_round
+        #: ``(tag, PackedEncryptedVector)`` pairs sent right after Register
+        self.uploads = list(uploads or [])
+        #: cohort position assigned by the server's RegisterAck
+        self.position: Optional[int] = None
+        #: the last ProbabilityBroadcast received (round_index, probabilities)
+        self.last_probabilities: Optional[Tuple[int, Tuple[float, ...]]] = None
+        #: every RoundResult received, in order
+        self.round_results: "list[RoundResult]" = []
+        #: rounds this client actually trained for
+        self.rounds_trained: "list[int]" = []
+        #: why the server rejected us, if it did
+        self.last_error: Optional[str] = None
+
+    def run(self) -> None:
+        """Serve the full protocol loop (blocking; run it on its own thread).
+
+        Connects (with retries), registers, ships any queued encrypted
+        uploads, then answers selection notices until shutdown or
+        disconnect.
+
+        Example
+        -------
+        >>> # TransportClient(client, make_model, "127.0.0.1", 9999).run()
+        >>> hasattr(TransportClient, "run")
+        True
+        """
+        asyncio.run(self._run_async())
+
+    async def _run_async(self) -> None:
+        reader, writer = await self._connect()
+        try:
+            await self._send(writer, Register(
+                client_id=self.client.client_id,
+                num_classes=self.client.num_classes,
+                num_samples=int(self.client.num_samples),
+            ))
+            for tag, vector in self.uploads:
+                await self._send(writer, PackedCiphertextUpload(
+                    client_id=self.client.client_id, tag=tag, vector=vector))
+            while True:
+                message = await _read_message(reader, self.max_frame_bytes)
+                if isinstance(message, Shutdown):
+                    break
+                await self._handle(writer, message)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # server went away; nothing left to serve
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _connect(self):
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            try:
+                return await asyncio.open_connection(self.host, self.port)
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                await asyncio.sleep(self.backoff * (2 ** attempt))
+        raise TransportError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.retries + 1} attempts: {last_error}"
+        )
+
+    async def _send(self, writer: asyncio.StreamWriter, message) -> None:
+        writer.write(encode_message(message))
+        await writer.drain()
+
+    async def _handle(self, writer: asyncio.StreamWriter, message) -> None:
+        if isinstance(message, RegisterAck):
+            self.position = message.position
+        elif isinstance(message, ProbabilityBroadcast):
+            self.last_probabilities = (message.round_index,
+                                       message.probabilities)
+        elif isinstance(message, SelectionNotice):
+            await self._train_and_reply(writer, message)
+        elif isinstance(message, RoundResult):
+            self.round_results.append(message)
+        elif isinstance(message, ErrorNotice):
+            self.last_error = message.detail
+        # Register/uploads/deltas are client→server only; ignore echoes
+
+    async def _train_and_reply(self, writer: asyncio.StreamWriter,
+                               notice: SelectionNotice) -> None:
+        if self.delay > 0 and (self.delay_round is None
+                               or self.delay_round == notice.round_index):
+            await asyncio.sleep(self.delay)
+        model = self.model_factory()
+        model.load_state_dict(dict(notice.state))
+        state = self.client.local_train(model, notice.config,
+                                        round_index=notice.round_index)
+        self.rounds_trained.append(notice.round_index)
+        await self._send(writer, ModelDelta(
+            round_index=notice.round_index,
+            client_id=self.client.client_id,
+            state=state,
+        ))

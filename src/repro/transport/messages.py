@@ -1,0 +1,587 @@
+"""Typed messages of the Dubhe round protocol.
+
+FedLab separates the *process* (a socket loop) from the *role* (server or
+client logic) with an explicit message layer; this module is that layer for
+the Dubhe protocol.  One round is the following exchange::
+
+    client                         server
+      | -- Register -------------->  |   join the federation
+      | <-- RegisterAck -----------  |   acknowledged, cohort position known
+      | -- PackedCiphertextUpload -> |   encrypted registry / p_l vectors
+      | <-- ProbabilityBroadcast --  |   q_k over the registered cohort
+      | <-- SelectionNotice -------  |   you are selected: state + recipe
+      | -- ModelDelta ------------>  |   locally trained parameters
+      | <-- RoundResult -----------  |   round closed (possibly partial)
+      | <-- Shutdown --------------  |   federation is over
+
+Every message is a frozen dataclass with a one-byte :attr:`TYPE` code, a
+``to_payload`` serialiser and a ``from_payload`` parser built on the
+primitive codecs of :mod:`repro.transport.wire`.  :func:`encode_message`
+wraps a message into one versioned frame; :func:`decode_message` is its
+exact inverse and raises the structured :class:`~repro.transport.wire.WireError`
+family on damage, truncation or a foreign protocol version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Type
+
+import numpy as np
+
+from ..crypto.packing import PackedEncryptedVector
+from ..federated.client import LocalTrainingConfig
+from .wire import (
+    CorruptFrameError,
+    WireReader,
+    WireWriter,
+    decode_frame,
+    encode_frame,
+    packed_from_wire,
+    packed_to_wire,
+    state_from_wire,
+    state_to_wire,
+)
+
+__all__ = [
+    "ErrorNotice",
+    "MESSAGE_TYPES",
+    "ModelDelta",
+    "PackedCiphertextUpload",
+    "ProbabilityBroadcast",
+    "Register",
+    "RegisterAck",
+    "RoundResult",
+    "SelectionNotice",
+    "Shutdown",
+    "decode_message",
+    "encode_message",
+]
+
+
+@dataclass(frozen=True)
+class Register:
+    """Client → server: join the federation.
+
+    Example
+    -------
+    >>> msg = Register(client_id=3, num_classes=10, num_samples=120)
+    >>> decode_message(encode_message(msg))[0] == msg
+    True
+    """
+
+    TYPE = 1
+
+    client_id: int
+    num_classes: int
+    num_samples: int
+
+    def to_payload(self) -> bytes:
+        """Serialise to a frame payload.
+
+        Example
+        -------
+        >>> Register.from_payload(Register(1, 10, 5).to_payload()).client_id
+        1
+        """
+        return (WireWriter().u32(self.client_id).u32(self.num_classes)
+                .u32(self.num_samples).getvalue())
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Register":
+        """Parse from a frame payload.
+
+        Example
+        -------
+        >>> Register.from_payload(Register(2, 10, 64).to_payload()).num_samples
+        64
+        """
+        reader = WireReader(payload)
+        return cls(reader.u32(), reader.u32(), reader.u32())
+
+
+@dataclass(frozen=True)
+class RegisterAck:
+    """Server → client: registration accepted, cohort position assigned.
+
+    Example
+    -------
+    >>> ack = RegisterAck(client_id=3, position=0, cohort_size=4)
+    >>> decode_message(encode_message(ack))[0] == ack
+    True
+    """
+
+    TYPE = 2
+
+    client_id: int
+    position: int
+    cohort_size: int
+
+    def to_payload(self) -> bytes:
+        """Serialise to a frame payload.
+
+        Example
+        -------
+        >>> RegisterAck.from_payload(RegisterAck(1, 0, 4).to_payload()).position
+        0
+        """
+        return (WireWriter().u32(self.client_id).u32(self.position)
+                .u32(self.cohort_size).getvalue())
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RegisterAck":
+        """Parse from a frame payload.
+
+        Example
+        -------
+        >>> RegisterAck.from_payload(RegisterAck(1, 2, 4).to_payload()).cohort_size
+        4
+        """
+        reader = WireReader(payload)
+        return cls(reader.u32(), reader.u32(), reader.u32())
+
+
+@dataclass(frozen=True)
+class PackedCiphertextUpload:
+    """Client → server: a packed encrypted vector (registry or ``p_l``).
+
+    The *tag* names which protocol artefact the vector is ("registry",
+    "label_distribution", ...), so one message type covers every encrypted
+    upload of the Dubhe handshake.
+
+    Example
+    -------
+    >>> from repro.crypto import generate_keypair
+    >>> from repro.crypto.packing import PackedEncryptedVector
+    >>> public, private = generate_keypair(key_size=256)
+    >>> vec = PackedEncryptedVector.encrypt(public, [0.5, 0.25])
+    >>> msg = PackedCiphertextUpload(client_id=1, tag="registry", vector=vec)
+    >>> back = decode_message(encode_message(msg))[0]
+    >>> back.vector.decrypt(private).tolist()
+    [0.5, 0.25]
+    """
+
+    TYPE = 3
+
+    client_id: int
+    tag: str
+    vector: PackedEncryptedVector
+
+    def to_payload(self) -> bytes:
+        """Serialise to a frame payload.
+
+        Example
+        -------
+        >>> from repro.crypto import generate_keypair
+        >>> from repro.crypto.packing import PackedEncryptedVector
+        >>> public, _ = generate_keypair(key_size=256)
+        >>> vec = PackedEncryptedVector.encrypt(public, [1.0])
+        >>> msg = PackedCiphertextUpload(0, "p_l", vec)
+        >>> PackedCiphertextUpload.from_payload(msg.to_payload()).tag
+        'p_l'
+        """
+        writer = WireWriter().u32(self.client_id).str(self.tag)
+        packed_to_wire(self.vector, writer)
+        return writer.getvalue()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "PackedCiphertextUpload":
+        """Parse from a frame payload.
+
+        Example
+        -------
+        >>> from repro.crypto import generate_keypair
+        >>> from repro.crypto.packing import PackedEncryptedVector
+        >>> public, _ = generate_keypair(key_size=256)
+        >>> vec = PackedEncryptedVector.encrypt(public, [0.0, 1.0])
+        >>> msg = PackedCiphertextUpload(7, "registry", vec)
+        >>> len(PackedCiphertextUpload.from_payload(msg.to_payload()).vector)
+        2
+        """
+        reader = WireReader(payload)
+        client_id = reader.u32()
+        tag = reader.str()
+        return cls(client_id, tag, packed_from_wire(reader))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedCiphertextUpload):
+            return NotImplemented
+        return (self.client_id == other.client_id and self.tag == other.tag
+                and self.vector.ciphertexts == other.vector.ciphertexts
+                and self.vector.weight == other.vector.weight)
+
+
+@dataclass(frozen=True)
+class ProbabilityBroadcast:
+    """Server → clients: the selection probabilities ``q_k`` for this round.
+
+    Example
+    -------
+    >>> msg = ProbabilityBroadcast(round_index=2, probabilities=(0.5, 0.5))
+    >>> decode_message(encode_message(msg))[0].probabilities
+    (0.5, 0.5)
+    """
+
+    TYPE = 4
+
+    round_index: int
+    probabilities: "tuple[float, ...]"
+
+    def to_payload(self) -> bytes:
+        """Serialise to a frame payload.
+
+        Example
+        -------
+        >>> msg = ProbabilityBroadcast(0, (1.0,))
+        >>> ProbabilityBroadcast.from_payload(msg.to_payload()).round_index
+        0
+        """
+        writer = WireWriter().u32(self.round_index).u32(len(self.probabilities))
+        for p in self.probabilities:
+            writer.f64(float(p))
+        return writer.getvalue()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "ProbabilityBroadcast":
+        """Parse from a frame payload.
+
+        Example
+        -------
+        >>> msg = ProbabilityBroadcast(1, (0.25, 0.75))
+        >>> ProbabilityBroadcast.from_payload(msg.to_payload()).probabilities
+        (0.25, 0.75)
+        """
+        reader = WireReader(payload)
+        round_index = reader.u32()
+        count = reader.u32()
+        return cls(round_index, tuple(reader.f64() for _ in range(count)))
+
+
+@dataclass(frozen=True)
+class SelectionNotice:
+    """Server → one selected client: train on this state with this recipe.
+
+    Carries the global model state, the local-training hyper-parameters and
+    the round deadline — everything the client executor needs to produce a
+    :class:`ModelDelta`.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> notice = SelectionNotice(round_index=1, client_id=3,
+    ...                          config=LocalTrainingConfig(),
+    ...                          state={"w": np.zeros(2)}, deadline=30.0)
+    >>> back = decode_message(encode_message(notice))[0]
+    >>> back.client_id, back.config.batch_size
+    (3, 8)
+    """
+
+    TYPE = 5
+
+    round_index: int
+    client_id: int
+    config: LocalTrainingConfig
+    state: "Mapping[str, np.ndarray]"
+    deadline: Optional[float] = None
+
+    def to_payload(self) -> bytes:
+        """Serialise to a frame payload.
+
+        Example
+        -------
+        >>> notice = SelectionNotice(0, 1, LocalTrainingConfig(), {})
+        >>> SelectionNotice.from_payload(notice.to_payload()).round_index
+        0
+        """
+        writer = (WireWriter().u32(self.round_index).u32(self.client_id)
+                  .opt_f64(self.deadline)
+                  .u32(self.config.batch_size).u32(self.config.local_epochs)
+                  .f64(self.config.learning_rate).str(self.config.optimizer))
+        max_batches = self.config.max_batches_per_epoch
+        writer.u8(1 if max_batches is not None else 0)
+        if max_batches is not None:
+            writer.u32(max_batches)
+        state_to_wire(self.state, writer)
+        return writer.getvalue()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "SelectionNotice":
+        """Parse from a frame payload.
+
+        Example
+        -------
+        >>> notice = SelectionNotice(2, 0, LocalTrainingConfig(batch_size=4), {},
+        ...                          deadline=5.0)
+        >>> SelectionNotice.from_payload(notice.to_payload()).deadline
+        5.0
+        """
+        reader = WireReader(payload)
+        round_index = reader.u32()
+        client_id = reader.u32()
+        deadline = reader.opt_f64()
+        batch_size = reader.u32()
+        local_epochs = reader.u32()
+        learning_rate = reader.f64()
+        optimizer = reader.str()
+        max_batches = reader.u32() if reader.u8() else None
+        try:
+            config = LocalTrainingConfig(
+                batch_size=batch_size, local_epochs=local_epochs,
+                learning_rate=learning_rate, optimizer=optimizer,
+                max_batches_per_epoch=max_batches,
+            )
+        except ValueError as exc:
+            raise CorruptFrameError(f"invalid training recipe on the wire: {exc}")
+        return cls(round_index, client_id, config, state_from_wire(reader),
+                   deadline=deadline)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SelectionNotice):
+            return NotImplemented
+        return (self.round_index == other.round_index
+                and self.client_id == other.client_id
+                and self.config == other.config
+                and self.deadline == other.deadline
+                and _states_equal(self.state, other.state))
+
+
+@dataclass(frozen=True)
+class ModelDelta:
+    """Client → server: locally trained parameters for one round.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> delta = ModelDelta(round_index=0, client_id=1,
+    ...                    state={"w": np.ones(3, dtype=np.float32)})
+    >>> decode_message(encode_message(delta))[0].state["w"].dtype.name
+    'float32'
+    """
+
+    TYPE = 6
+
+    round_index: int
+    client_id: int
+    state: "Mapping[str, np.ndarray]"
+
+    def to_payload(self) -> bytes:
+        """Serialise to a frame payload.
+
+        Example
+        -------
+        >>> ModelDelta.from_payload(ModelDelta(1, 2, {}).to_payload()).client_id
+        2
+        """
+        writer = WireWriter().u32(self.round_index).u32(self.client_id)
+        state_to_wire(self.state, writer)
+        return writer.getvalue()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "ModelDelta":
+        """Parse from a frame payload.
+
+        Example
+        -------
+        >>> ModelDelta.from_payload(ModelDelta(3, 0, {}).to_payload()).round_index
+        3
+        """
+        reader = WireReader(payload)
+        return cls(reader.u32(), reader.u32(), state_from_wire(reader))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ModelDelta):
+            return NotImplemented
+        return (self.round_index == other.round_index
+                and self.client_id == other.client_id
+                and _states_equal(self.state, other.state))
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Server → clients: the round closed (fully or partially).
+
+    ``failures`` maps client id → failure cause (one of
+    :data:`repro.scenarios.engine.FAILURE_CAUSES`); a non-empty map means the
+    round completed partially under the server's ``min_participation`` skip
+    policy.
+
+    Example
+    -------
+    >>> result = RoundResult(round_index=1, skipped=False, accuracy=0.5,
+    ...                      failures={3: "straggler"})
+    >>> decode_message(encode_message(result))[0].failures
+    {3: 'straggler'}
+    """
+
+    TYPE = 7
+
+    round_index: int
+    skipped: bool
+    accuracy: Optional[float] = None
+    failures: "Dict[int, str]" = field(default_factory=dict)
+
+    def to_payload(self) -> bytes:
+        """Serialise to a frame payload.
+
+        Example
+        -------
+        >>> RoundResult.from_payload(RoundResult(0, True).to_payload()).skipped
+        True
+        """
+        writer = (WireWriter().u32(self.round_index).bool(self.skipped)
+                  .opt_f64(self.accuracy).u32(len(self.failures)))
+        for client_id in sorted(self.failures):
+            writer.u32(client_id).str(self.failures[client_id])
+        return writer.getvalue()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RoundResult":
+        """Parse from a frame payload.
+
+        Example
+        -------
+        >>> RoundResult.from_payload(RoundResult(2, False, 0.75).to_payload()).accuracy
+        0.75
+        """
+        reader = WireReader(payload)
+        round_index = reader.u32()
+        skipped = reader.bool()
+        accuracy = reader.opt_f64()
+        count = reader.u32()
+        failures = {}
+        for _ in range(count):
+            client_id = reader.u32()
+            failures[client_id] = reader.str()
+        return cls(round_index, skipped, accuracy, failures)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoundResult):
+            return NotImplemented
+        return (self.round_index == other.round_index
+                and self.skipped == other.skipped
+                and self.accuracy == other.accuracy
+                and self.failures == other.failures)
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Server → clients: the federation is over, close the connection.
+
+    Example
+    -------
+    >>> decode_message(encode_message(Shutdown("done")))[0].reason
+    'done'
+    """
+
+    TYPE = 8
+
+    reason: str = "complete"
+
+    def to_payload(self) -> bytes:
+        """Serialise to a frame payload.
+
+        Example
+        -------
+        >>> Shutdown.from_payload(Shutdown().to_payload()).reason
+        'complete'
+        """
+        return WireWriter().str(self.reason).getvalue()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Shutdown":
+        """Parse from a frame payload.
+
+        Example
+        -------
+        >>> Shutdown.from_payload(Shutdown("closing").to_payload()).reason
+        'closing'
+        """
+        return cls(WireReader(payload).str())
+
+
+@dataclass(frozen=True)
+class ErrorNotice:
+    """Either direction: a structured protocol error (kept on the wire so a
+    peer can distinguish "you were rejected" from a dead socket).
+
+    Example
+    -------
+    >>> decode_message(encode_message(ErrorNotice("bad tag")))[0].detail
+    'bad tag'
+    """
+
+    TYPE = 9
+
+    detail: str
+
+    def to_payload(self) -> bytes:
+        """Serialise to a frame payload.
+
+        Example
+        -------
+        >>> ErrorNotice.from_payload(ErrorNotice("x").to_payload()).detail
+        'x'
+        """
+        return WireWriter().str(self.detail).getvalue()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "ErrorNotice":
+        """Parse from a frame payload.
+
+        Example
+        -------
+        >>> ErrorNotice.from_payload(ErrorNotice("nope").to_payload()).detail
+        'nope'
+        """
+        return cls(WireReader(payload).str())
+
+
+#: One-byte type code → message class, the registry the decoder dispatches on.
+MESSAGE_TYPES: "Dict[int, Type]" = {
+    cls.TYPE: cls
+    for cls in (Register, RegisterAck, PackedCiphertextUpload,
+                ProbabilityBroadcast, SelectionNotice, ModelDelta,
+                RoundResult, Shutdown, ErrorNotice)
+}
+
+
+def _states_equal(a: "Mapping[str, np.ndarray]",
+                  b: "Mapping[str, np.ndarray]") -> bool:
+    if set(a) != set(b):
+        return False
+    return all(
+        a[k].dtype == b[k].dtype and np.array_equal(a[k], b[k]) for k in a
+    )
+
+
+def encode_message(message) -> bytes:
+    """One complete wire frame around *message*.
+
+    Example
+    -------
+    >>> frame = encode_message(Shutdown())
+    >>> isinstance(decode_message(frame)[0], Shutdown)
+    True
+    """
+    return encode_frame(message.TYPE, message.to_payload())
+
+
+def decode_message(buffer: bytes):
+    """Decode one message from the head of *buffer*.
+
+    Returns ``(message, bytes_consumed)``.  Raises the structured
+    :class:`~repro.transport.wire.WireError` subclasses on truncation,
+    damage, an unknown type code or a foreign protocol version.
+
+    Example
+    -------
+    >>> message, used = decode_message(encode_message(Register(1, 10, 8)))
+    >>> message.num_classes
+    10
+    """
+    msg_type, payload, consumed = decode_frame(buffer)
+    try:
+        cls = MESSAGE_TYPES[msg_type]
+    except KeyError:
+        raise CorruptFrameError(f"unknown message type code {msg_type}")
+    return cls.from_payload(payload), consumed

@@ -1,0 +1,528 @@
+"""The asyncio TCP server driving Dubhe rounds over real sockets.
+
+:class:`SocketTransport` implements the :class:`~repro.transport.base.Transport`
+contract over localhost (or LAN) TCP.  It owns a private asyncio event loop
+on a daemon thread, so the synchronous simulation loop stays unchanged —
+``run_round`` bridges into the loop with ``run_coroutine_threadsafe`` and
+blocks until the round's deltas are in (or timed out).
+
+Per-connection handling
+-----------------------
+Each accepted connection gets a reader task (frame parsing via
+``readexactly`` on the header, then exactly the announced payload) and a
+writer task draining a **bounded** send queue — a slow client applies
+backpressure to its own queue without stalling the other clients or
+unbounding server memory.  A frame that fails the structured wire checks
+(:class:`~repro.transport.wire.CorruptFrameError` and friends) earns the
+peer an :class:`~repro.transport.messages.ErrorNotice` and a disconnect.
+
+Round protocol
+--------------
+``run_round`` waits (with exponential backoff, bounded by
+``connect_timeout`` / ``retries``) until every cohort client is registered,
+resolves injected faults *server-side* — a client marked as dropped by the
+scenario's :class:`~repro.scenarios.engine.FaultInjector` is never
+dispatched to, so scenario outcomes are byte-identical across back-ends —
+then sends each survivor a :class:`~repro.transport.messages.SelectionNotice`
+and awaits their :class:`~repro.transport.messages.ModelDelta` replies under
+``round_timeout``.  A client that misses the deadline is recorded as a
+``"straggler"`` and a disconnected one as ``"offline"`` (both members of
+:data:`repro.scenarios.engine.FAILURE_CAUSES`), and the partial survivor
+set flows into :meth:`repro.federated.server.FederatedServer.aggregate`'s
+``expected_count`` / ``min_participation`` skip policy exactly like an
+injected fault would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import TransportConfig
+from ..federated.client import FederatedClient, LocalTrainingConfig
+from ..nn.module import Module
+from .base import Transport
+from .messages import (
+    ErrorNotice,
+    ModelDelta,
+    PackedCiphertextUpload,
+    ProbabilityBroadcast,
+    Register,
+    RegisterAck,
+    RoundResult,
+    SelectionNotice,
+    Shutdown,
+    encode_message,
+)
+from .wire import WireError, frame_header
+
+__all__ = ["SocketTransport", "TransportClosedError", "TransportError"]
+
+StateDict = dict[str, np.ndarray]
+
+#: wire-frame header size (magic + version + type + length)
+_HEADER_SIZE = 8
+#: wire-frame trailer size (crc32)
+_TRAILER_SIZE = 4
+
+
+class TransportError(RuntimeError):
+    """A round could not be driven over the socket transport."""
+
+
+class TransportClosedError(TransportError):
+    """The transport was closed while a round was still pending."""
+
+
+class _ClientSession:
+    """Server-side state of one connected client (private)."""
+
+    def __init__(self, writer: asyncio.StreamWriter, send_queue: int):
+        self.writer = writer
+        self.queue: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue(maxsize=send_queue)
+        self.client_id: Optional[int] = None
+        self.position: Optional[int] = None
+        self.closed = False
+
+    async def send(self, message) -> None:
+        """Enqueue a message (blocks when the bounded queue is full)."""
+        if not self.closed:
+            await self.queue.put(encode_message(message))
+
+    async def drain(self) -> None:
+        """Writer task body: flush queued frames to the socket in order."""
+        try:
+            while True:
+                frame = await self.queue.get()
+                if frame is None:
+                    break
+                self.writer.write(frame)
+                await self.writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    def close(self) -> None:
+        """Tear down the connection (safe to call twice)."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+
+
+async def _read_message(reader: asyncio.StreamReader, max_frame_bytes: int):
+    """Read exactly one protocol message off a stream.
+
+    Validates the header (magic/version/length cap) before allocating the
+    payload, then runs the full structured decode including the CRC.
+    """
+    from .messages import decode_message
+
+    head = await reader.readexactly(_HEADER_SIZE)
+    _, length = frame_header(head, max_frame_bytes)
+    body = await reader.readexactly(length + _TRAILER_SIZE)
+    message, _ = decode_message(head + body)
+    return message
+
+
+class SocketTransport(Transport):
+    """Drive Dubhe rounds over TCP against :class:`~repro.transport.client.
+    TransportClient` peers.
+
+    The server starts lazily (first ``run_round`` or an explicit
+    :meth:`start`) and binds ``config.host:config.port`` — port ``0`` picks
+    a free port, readable from :attr:`address`.  Fault-free rounds under
+    float64 are bit-identical to the in-process sequential executor: the
+    remote peers run the very same
+    :meth:`~repro.federated.client.FederatedClient.local_train` from the
+    very same broadcast state.
+
+    Example
+    -------
+    >>> from repro.core.config import TransportConfig
+    >>> transport = SocketTransport(TransportConfig(kind="socket", port=0))
+    >>> host, port = transport.start()
+    >>> port > 0
+    True
+    >>> transport.close()
+    """
+
+    def __init__(self, config: Optional[TransportConfig] = None):
+        super().__init__()
+        self.config = config or TransportConfig(kind="socket")
+        #: ``(host, port)`` actually bound (after :meth:`start`)
+        self.address: Optional[Tuple[str, int]] = None
+        #: encrypted uploads received so far: client_id -> tag -> vector
+        self.uploads: "Dict[int, dict]" = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._sessions: "Dict[int, _ClientSession]" = {}
+        self._pending: "Dict[Tuple[int, int], asyncio.Future]" = {}
+        self._roster_changed: Optional[asyncio.Event] = None
+        self._closing = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind the listening socket and return ``(host, port)``.
+
+        Idempotent: a started transport returns its existing address.  The
+        event loop runs on a daemon thread, so the caller's thread (the
+        simulation loop) never blocks on socket readiness.
+
+        Example
+        -------
+        >>> from repro.core.config import TransportConfig
+        >>> transport = SocketTransport(TransportConfig(kind="socket"))
+        >>> transport.start() == transport.address
+        True
+        >>> transport.close()
+        """
+        if self._loop is not None:
+            assert self.address is not None
+            return self.address
+        self._closing = False
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever,
+                                  name="repro-transport-server", daemon=True)
+        thread.start()
+        self._loop = loop
+        self._thread = thread
+        future = asyncio.run_coroutine_threadsafe(self._start_async(), loop)
+        self.address = future.result(timeout=self.config.connect_timeout)
+        return self.address
+
+    async def _start_async(self) -> Tuple[str, int]:
+        self._roster_changed = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port)
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    def close(self) -> None:
+        """Stop the server, notifying clients and failing any pending round.
+
+        Idempotent and safe to call from any thread at any time — including
+        while a round is mid-flight: pending reply futures are cancelled
+        (the blocked ``run_round`` raises :class:`TransportClosedError`
+        instead of hanging), every client gets a best-effort
+        :class:`~repro.transport.messages.Shutdown`, and the loop thread is
+        joined.
+
+        Example
+        -------
+        >>> from repro.core.config import TransportConfig
+        >>> transport = SocketTransport(TransportConfig(kind="socket"))
+        >>> transport.close()  # never started: a no-op
+        >>> transport.close()
+        """
+        loop, thread = self._loop, self._thread
+        # latch even when never started: a closed transport stays closed
+        # until someone explicitly start()s it again
+        self._closing = True
+        if loop is None:
+            return
+        try:
+            future = asyncio.run_coroutine_threadsafe(self._shutdown_async(), loop)
+            future.result(timeout=self.config.connect_timeout)
+        except Exception:
+            pass  # a wedged loop still gets stopped below
+        loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=self.config.connect_timeout)
+        if not loop.is_running() and not loop.is_closed():
+            loop.close()
+        self._loop = None
+        self._thread = None
+        self._server = None
+        self._sessions = {}
+        self._pending = {}
+        self.address = None
+
+    async def _shutdown_async(self) -> None:
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.cancel()
+        self._pending.clear()
+        notice = Shutdown("server closing")
+        for session in list(self._sessions.values()):
+            try:
+                # bypass the bounded queue: shutdown must not block on a
+                # slow client's backlog
+                session.writer.write(encode_message(notice))
+                await asyncio.wait_for(session.writer.drain(), timeout=1.0)
+            except Exception:
+                pass
+            session.close()
+        self._sessions.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # reap the per-connection reader/writer tasks before the loop stops,
+        # so none are destroyed while still pending
+        current = asyncio.current_task()
+        leftovers = [task for task in asyncio.all_tasks()
+                     if task is not current]
+        for task in leftovers:
+            task.cancel()
+        if leftovers:
+            await asyncio.gather(*leftovers, return_exceptions=True)
+
+    # -- connection handling ----------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        session = _ClientSession(writer, self.config.send_queue)
+        drain_task = asyncio.ensure_future(session.drain())
+        try:
+            while True:
+                message = await _read_message(reader, self.config.max_frame_bytes)
+                await self._dispatch(session, message)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # client went away
+        except WireError as exc:
+            try:
+                writer.write(encode_message(ErrorNotice(str(exc))))
+                await asyncio.wait_for(writer.drain(), timeout=1.0)
+            except Exception:
+                pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            drain_task.cancel()
+            session.close()
+            if session.client_id is not None:
+                if self._sessions.get(session.client_id) is session:
+                    del self._sessions[session.client_id]
+                self._fail_pending_for(session.client_id)
+
+    def _fail_pending_for(self, client_id: int) -> None:
+        """A client vanished: fail its outstanding reply futures as offline."""
+        for (round_index, cid), future in list(self._pending.items()):
+            if cid == client_id and not future.done():
+                future.set_exception(
+                    TransportError(f"client {client_id} disconnected mid-round")
+                )
+
+    async def _dispatch(self, session: _ClientSession, message) -> None:
+        if isinstance(message, Register):
+            stale = self._sessions.get(message.client_id)
+            if stale is not None and stale is not session:
+                stale.close()  # reconnect replaces the old connection
+            session.client_id = message.client_id
+            self._sessions[message.client_id] = session
+            session.position = len(self._sessions) - 1
+            assert self._roster_changed is not None
+            self._roster_changed.set()
+            await session.send(RegisterAck(message.client_id, session.position,
+                                           len(self._sessions)))
+        elif isinstance(message, PackedCiphertextUpload):
+            self.uploads.setdefault(message.client_id, {})[message.tag] = \
+                message.vector
+        elif isinstance(message, ModelDelta):
+            future = self._pending.get((message.round_index, message.client_id))
+            if future is not None and not future.done():
+                future.set_result(message.state)
+        elif isinstance(message, ErrorNotice):
+            self.last_fallback_reason = f"client error: {message.detail}"
+        # other message types are server→client only; ignore echoes
+
+    # -- protocol broadcasts ----------------------------------------------------
+
+    def broadcast_probabilities(self, round_index: int,
+                                probabilities: Sequence[float]) -> None:
+        """Send every registered client this round's ``q_k`` probabilities.
+
+        Example
+        -------
+        >>> from repro.core.config import TransportConfig
+        >>> transport = SocketTransport(TransportConfig(kind="socket"))
+        >>> transport.start() is not None
+        True
+        >>> transport.broadcast_probabilities(0, [0.5, 0.5])  # no clients: no-op
+        >>> transport.close()
+        """
+        message = ProbabilityBroadcast(round_index,
+                                       tuple(float(p) for p in probabilities))
+        self._broadcast(message)
+
+    def on_round_complete(self, record) -> None:
+        """Broadcast the closed round's outcome as a ``RoundResult``.
+
+        Example
+        -------
+        >>> from repro.core.config import TransportConfig
+        >>> transport = SocketTransport(TransportConfig(kind="socket"))
+        >>> transport.start() is not None
+        True
+        >>> transport.close()
+        """
+        message = RoundResult(
+            round_index=record.round_index,
+            skipped=bool(record.aggregation_skipped),
+            accuracy=record.test_accuracy,
+            failures=dict(record.failures),
+        )
+        self._broadcast(message)
+
+    def _broadcast(self, message) -> None:
+        if self._loop is None or self._closing:
+            return
+
+        async def _send_all() -> None:
+            for session in list(self._sessions.values()):
+                await session.send(message)
+
+        try:
+            asyncio.run_coroutine_threadsafe(_send_all(), self._loop).result(
+                timeout=self.config.connect_timeout)
+        except (concurrent.futures.TimeoutError, TimeoutError):
+            # broadcasts are advisory; a saturated client queue (backpressure)
+            # must not fail the round
+            self.last_fallback_reason = "broadcast timed out on a full queue"
+
+    # -- the round --------------------------------------------------------------
+
+    def run_round(self, clients: Sequence[FederatedClient],
+                  model_factory: Callable[[], Module],
+                  global_state: StateDict,
+                  config: LocalTrainingConfig,
+                  round_index: int = 0,
+                  faults=None) -> "list[StateDict]":
+        """Dispatch the cohort's selection notices and collect their deltas.
+
+        Mirrors :meth:`repro.federated.executor.LocalUpdateExecutor.run_round`:
+        returns the survivors' states in cohort order; injected *faults* are
+        resolved server-side (failed positions are never dispatched), real
+        deadline misses become ``"straggler"`` and disconnects ``"offline"``
+        in :attr:`last_round_failures`.
+
+        Example
+        -------
+        >>> from repro.core.config import TransportConfig
+        >>> transport = SocketTransport(TransportConfig(kind="socket"))
+        >>> transport.run_round([], lambda: None, {}, LocalTrainingConfig())
+        []
+        >>> transport.close()
+        """
+        self.last_round_failures = {}
+        self.last_round_delay = 0.0
+        self.last_fallback_reason = None
+        if not clients:
+            return []
+        if self._closing:
+            raise TransportClosedError("transport is closed")
+        self.start()
+        assert self._loop is not None
+        injected: dict[int, str] = {}
+        if faults is not None:
+            injected = {p: c for p, c in faults.resolve().items()
+                        if p < len(clients)}
+            self.last_round_delay = faults.round_delay()
+        ids = [client.client_id for client in clients]
+        future = asyncio.run_coroutine_threadsafe(
+            self._run_round_async(ids, global_state, config, round_index,
+                                  injected),
+            self._loop,
+        )
+        budget = self.config.connect_timeout * (self.config.retries + 2)
+        if self.config.round_timeout is not None:
+            budget += self.config.round_timeout
+            result_timeout: Optional[float] = budget
+        else:
+            result_timeout = None
+        try:
+            states_by_position, real_failures = future.result(
+                timeout=result_timeout)
+        except (asyncio.CancelledError, concurrent.futures.CancelledError):
+            # the bridging future raises the concurrent.futures flavour,
+            # which is not the asyncio class on every interpreter
+            raise TransportClosedError(
+                f"transport closed while round {round_index} was pending"
+            )
+        except (concurrent.futures.TimeoutError, TimeoutError):
+            future.cancel()
+            raise TransportError(
+                f"round {round_index} did not complete within the "
+                f"{budget:.1f}s transport budget"
+            )
+        self.last_round_failures = dict(injected)
+        self.last_round_failures.update(real_failures)
+        survivors = [p for p in range(len(clients))
+                     if p not in self.last_round_failures]
+        # remote peers incremented their own participation counters; mirror
+        # that on the simulation-side stubs so bookkeeping matches in-process
+        for position in survivors:
+            clients[position].rounds_participated += 1
+        return [states_by_position[p] for p in survivors]
+
+    async def _run_round_async(self, ids: Sequence[int],
+                               global_state: StateDict,
+                               config: LocalTrainingConfig,
+                               round_index: int,
+                               injected: "dict[int, str]"):
+        await self._wait_for_clients(ids)
+        assert self._loop is not None
+        deadline = self.config.round_timeout
+        pending: "dict[int, tuple[int, asyncio.Future]]" = {}
+        for position, client_id in enumerate(ids):
+            if position in injected:
+                continue  # resolved server-side: dropped clients never train
+            reply: asyncio.Future = self._loop.create_future()
+            self._pending[(round_index, client_id)] = reply
+            notice = SelectionNotice(round_index=round_index,
+                                     client_id=client_id, config=config,
+                                     state=global_state, deadline=deadline)
+            await self._sessions[client_id].send(notice)
+            pending[position] = (client_id, reply)
+        real_failures: "dict[int, str]" = {}
+        states: "dict[int, StateDict]" = {}
+        if pending:
+            await asyncio.wait([reply for _, reply in pending.values()],
+                               timeout=deadline)
+        for position, (client_id, reply) in pending.items():
+            self._pending.pop((round_index, client_id), None)
+            if reply.cancelled():
+                raise asyncio.CancelledError()
+            if reply.done() and reply.exception() is None:
+                states[position] = reply.result()
+            elif reply.done():
+                reply.exception()  # consume it
+                real_failures[position] = "offline"
+            else:
+                reply.cancel()
+                real_failures[position] = "straggler"
+        return states, real_failures
+
+    async def _wait_for_clients(self, ids: Sequence[int]) -> None:
+        """Wait until every cohort client is registered (backoff + deadline)."""
+        assert self._loop is not None and self._roster_changed is not None
+        deadline = self._loop.time() + self.config.connect_timeout
+        attempt = 0
+        while True:
+            missing = [cid for cid in ids if cid not in self._sessions]
+            if not missing:
+                return
+            remaining = deadline - self._loop.time()
+            if remaining <= 0 or attempt > self.config.retries:
+                raise TransportError(
+                    f"clients {missing} never registered within "
+                    f"{self.config.connect_timeout}s "
+                    f"({attempt} waits, backoff {self.config.backoff}s)"
+                )
+            step = min(max(self.config.backoff, 0.001) * (2 ** attempt),
+                       remaining)
+            self._roster_changed.clear()
+            try:
+                await asyncio.wait_for(self._roster_changed.wait(),
+                                       timeout=step)
+            except asyncio.TimeoutError:
+                attempt += 1

@@ -1,0 +1,178 @@
+"""The ``repro.api.Session`` facade: one builder for every run mode.
+
+Pins the PR-8 API-redesign contract: a ``Session`` chain drives plain runs,
+scenario runs and ledgered runs through one code path; the historical entry
+points keep working but emit :class:`DeprecationWarning`; and the builder
+refuses ambiguous or out-of-order configuration instead of guessing.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import FederatedConfig, FederatedSimulation, Session, run_scenario
+from repro.api.session import SessionResult, _amend
+from repro.core.config import ExecutorConfig, TransportConfig
+from repro.scenarios import ScenarioSpec
+
+RECIPE_TARGET = "repro.ledger.recipes:quick_mlp"
+RECIPE_KWARGS = dict(n_clients=8, participants=2, samples_per_client=12,
+                     seed=0)
+
+
+def make_session(config=None):
+    return Session(config or FederatedConfig(rounds=2, eval_every=1, seed=0)
+                   ).with_recipe(RECIPE_TARGET, **RECIPE_KWARGS)
+
+
+class TestPlainRuns:
+    def test_run_returns_history_only(self):
+        with make_session() as session:
+            result = session.run()
+        assert isinstance(result, SessionResult)
+        assert len(result.history) == 2
+        assert result.report is None
+        assert result.run_id is None
+
+    def test_session_never_emits_the_deprecation_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with make_session() as session:
+                session.run()
+
+    def test_with_federation_components_path(self):
+        from repro.ledger.codec import RunRecipe
+
+        components = RunRecipe(RECIPE_TARGET, RECIPE_KWARGS).build()
+        session = Session(FederatedConfig(rounds=1, seed=0))
+        session.with_federation(
+            partition=components["partition"],
+            generator=components["generator"],
+            model_factory=components["model_factory"],
+            selector=components["selector"],
+            test_set=components["test_set"],
+        )
+        with session:
+            assert len(session.run().history) == 1
+
+    def test_run_matches_the_direct_simulation(self):
+        with make_session() as session:
+            facade_state = session.run().history
+            state_a = session.simulation.server.global_state()
+        with make_session() as session:
+            simulation = session.build()
+            simulation.run()
+            state_b = simulation.server.global_state()
+        for name in state_a:
+            assert np.array_equal(state_a[name], state_b[name])
+        assert len(facade_state) == 2
+
+
+class TestScenarioRuns:
+    def test_with_scenario_yields_a_report(self):
+        config = FederatedConfig(rounds=2, eval_every=1, seed=0)
+        with make_session(config).with_scenario(ScenarioSpec(seed=3),
+                                                name="churn") as session:
+            result = session.run()
+        assert result.report is not None
+        assert result.report.name == "churn"
+        assert result.report.rounds == 2
+
+    def test_run_scenario_wrapper_warns_and_delegates(self):
+        with make_session() as session:
+            simulation = session.build()
+            with pytest.warns(DeprecationWarning, match="repro.api.Session"):
+                report = run_scenario(simulation, rounds=1, name="legacy")
+        assert report.rounds == 1
+
+    def test_compare_selectors_does_not_warn(self):
+        from repro.scenarios import compare_selectors
+
+        def build(selector_name):
+            kwargs = dict(RECIPE_KWARGS, selector="random")
+            return Session(FederatedConfig(rounds=1, seed=0)).with_recipe(
+                RECIPE_TARGET, **kwargs).build()
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            reports = compare_selectors(build, names=("random",), rounds=1)
+        assert set(reports) == {"random"}
+
+
+class TestLedgerRuns:
+    def test_with_ledger_records_and_returns_run_id(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        with make_session().with_ledger(path, run_name="api") as session:
+            result = session.run()
+        assert result.run_id
+
+        from repro.ledger.store import RunLedger
+
+        with RunLedger(path, create=False) as ledger:
+            info = ledger.run(result.run_id)
+            assert info.name == "api"
+            assert info.rounds_committed == 2
+
+    def test_ledger_cli_round_trips_a_session_run(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.db")
+        with make_session().with_ledger(path) as session:
+            run_id = session.run().run_id
+
+        from repro.ledger.cli import main
+
+        assert main(["verify", path, run_id]) == 0
+        assert run_id in capsys.readouterr().out
+
+
+class TestBuilderGuards:
+    def test_direct_simulation_construction_warns(self):
+        from repro.ledger.codec import RunRecipe
+
+        components = RunRecipe(RECIPE_TARGET, RECIPE_KWARGS).build()
+        with pytest.warns(DeprecationWarning, match="repro.api.Session"):
+            simulation = FederatedSimulation(
+                config=FederatedConfig(rounds=1, seed=0), **components)
+        simulation.close()
+
+    def test_missing_federation_is_an_error(self):
+        with pytest.raises(ValueError, match="with_federation"):
+            Session(FederatedConfig()).build()
+
+    def test_unknown_component_kwargs_are_rejected(self):
+        with pytest.raises(TypeError, match="unknown component"):
+            Session(FederatedConfig(), executor="nope")
+
+    def test_configuring_after_build_is_an_error(self):
+        with make_session() as session:
+            session.build()
+            with pytest.raises(RuntimeError, match="already built"):
+                session.with_executor(mode="vectorized")
+
+    def test_with_executor_rejects_both_spellings(self):
+        with pytest.raises(TypeError, match="not both"):
+            Session().with_executor(ExecutorConfig(), mode="sequential")
+
+    def test_with_transport_sets_the_group(self):
+        session = Session().with_transport(kind="socket", round_timeout=5.0)
+        assert session.config.transport.kind == "socket"
+        assert session.config.transport.round_timeout == 5.0
+
+    def test_build_is_idempotent(self):
+        with make_session() as session:
+            assert session.build() is session.build()
+
+
+class TestAmend:
+    def test_amend_replaces_a_group_without_alias_conflicts(self):
+        config = FederatedConfig(executor_mode="vectorized", rounds=5)
+        amended = _amend(config, executor=ExecutorConfig(mode="sequential"))
+        assert amended.executor_mode == "sequential"
+        assert amended.rounds == 5
+
+    def test_amend_keeps_unrelated_groups(self):
+        config = FederatedConfig(
+            transport=TransportConfig(kind="socket", round_timeout=9.0))
+        amended = _amend(config, rounds=3)
+        assert amended.transport.round_timeout == 9.0
+        assert amended.rounds == 3

@@ -1,0 +1,171 @@
+"""Nested config groups must be a pure re-spelling of the flat fields.
+
+PR 8 grouped ``FederatedConfig``'s executor, ledger and transport knobs into
+``ExecutorConfig``/``LedgerConfig``/``TransportConfig`` sub-configs while
+keeping every pre-existing flat kwarg as an alias.  These tests pin the
+contract: flat and nested spellings resolve to the same config, conflicting
+spellings are an error (never a silent override), and every pre-PR-8
+constructor call found in ``examples/`` and ``tests/`` still resolves
+identically.
+"""
+
+import ast
+import dataclasses
+import pathlib
+
+import pytest
+
+from repro.core.config import ExecutorConfig, LedgerConfig, TransportConfig
+from repro.federated.simulation import (_EXECUTOR_ALIASES, _LEDGER_ALIASES,
+                                        FederatedConfig)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _nested_equivalent(flat_kwargs):
+    """Re-spell *flat_kwargs* through the nested groups."""
+    executor = {group: flat_kwargs.pop(flat)
+                for flat, group in _EXECUTOR_ALIASES.items()
+                if flat in flat_kwargs}
+    ledger = {group: flat_kwargs.pop(flat)
+              for flat, group in _LEDGER_ALIASES.items()
+              if flat in flat_kwargs}
+    if executor:
+        flat_kwargs["executor"] = ExecutorConfig(**executor)
+    if ledger:
+        flat_kwargs["ledger"] = LedgerConfig(**ledger)
+    return FederatedConfig(**flat_kwargs)
+
+
+class TestFlatNestedEquivalence:
+    def test_executor_flat_equals_nested(self):
+        flat = FederatedConfig(executor_mode="parallel", num_workers=2,
+                               shard_policy="interleaved",
+                               scheduler_timeout=30.0)
+        nested = FederatedConfig(executor=ExecutorConfig(
+            mode="parallel", num_workers=2, shard_policy="interleaved",
+            scheduler_timeout=30.0))
+        assert flat == nested
+
+    def test_ledger_flat_equals_nested(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        flat = FederatedConfig(ledger_path=path, run_name="demo")
+        nested = FederatedConfig(ledger=LedgerConfig(
+            path=path, run_name="demo"))
+        assert flat == nested
+
+    def test_groups_are_always_materialised(self):
+        config = FederatedConfig()
+        assert config.executor == ExecutorConfig()
+        assert config.ledger == LedgerConfig()
+        assert config.transport == TransportConfig()
+
+    def test_groups_mirror_flat_values(self):
+        config = FederatedConfig(executor_mode="vectorized", dtype="float32",
+                                 dataset_cache_size=7)
+        assert config.executor.mode == "vectorized"
+        assert config.executor.dtype == "float32"
+        assert config.executor.dataset_cache_size == 7
+
+    def test_nested_values_flow_back_to_flat(self):
+        config = FederatedConfig(
+            executor=ExecutorConfig(mode="parallel", num_workers=3),
+            ledger=LedgerConfig(path="x.db", run_mode="live"))
+        assert config.executor_mode == "parallel"
+        assert config.num_workers == 3
+        assert config.ledger_path == "x.db"
+
+    def test_matching_spellings_are_allowed(self):
+        config = FederatedConfig(executor_mode="vectorized",
+                                 executor=ExecutorConfig(mode="vectorized"))
+        assert config.executor_mode == "vectorized"
+
+
+class TestConflicts:
+    def test_conflicting_executor_spelling_raises(self):
+        with pytest.raises(ValueError, match="conflicting configuration"):
+            FederatedConfig(executor_mode="parallel",
+                            executor=ExecutorConfig(mode="vectorized"))
+
+    def test_conflicting_ledger_spelling_raises(self):
+        with pytest.raises(ValueError, match="conflicting configuration"):
+            FederatedConfig(ledger_path="a.db",
+                            ledger=LedgerConfig(path="b.db"))
+
+    def test_group_type_is_checked(self):
+        with pytest.raises(TypeError):
+            FederatedConfig(executor={"mode": "parallel"})
+        with pytest.raises(TypeError):
+            FederatedConfig(transport={"kind": "socket"})
+
+
+class TestGroupValidation:
+    def test_executor_group_validates_mode(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(mode="quantum")
+
+    def test_ledger_group_validates_run_mode(self):
+        with pytest.raises(ValueError):
+            LedgerConfig(path="x.db", run_mode="rewind")
+
+    def test_transport_group_validates_kind_and_knobs(self):
+        with pytest.raises(ValueError):
+            TransportConfig(kind="carrier-pigeon")
+        with pytest.raises(ValueError):
+            TransportConfig(round_timeout=0.0)
+        with pytest.raises(ValueError):
+            TransportConfig(min_participation=1.5)
+
+
+def _literal_federated_config_calls():
+    """Every ``FederatedConfig(...)`` call in examples/ and tests/ whose
+    kwargs are plain literals — the pre-PR-8 constructor corpus."""
+    calls = []
+    this_file = pathlib.Path(__file__).resolve()
+    for root in ("examples", "tests", "src"):
+        for path in (REPO_ROOT / root).rglob("*.py"):
+            if path.resolve() == this_file:
+                continue
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id == "FederatedConfig"
+                        and not node.args):
+                    try:
+                        kwargs = {kw.arg: ast.literal_eval(kw.value)
+                                  for kw in node.keywords
+                                  if kw.arg is not None}
+                    except ValueError:
+                        continue  # non-literal args (argparse values, ...)
+                    if any(kw.arg is None for kw in node.keywords):
+                        continue
+                    calls.append((f"{path.relative_to(REPO_ROOT)}:"
+                                  f"{node.lineno}", kwargs))
+    return calls
+
+
+class TestPrePR8Corpus:
+    def test_corpus_is_nonempty(self):
+        assert len(_literal_federated_config_calls()) >= 5
+
+    @pytest.mark.parametrize(
+        "location,kwargs",
+        _literal_federated_config_calls() or [("none", {})],
+        ids=lambda value: value if isinstance(value, str) else "",
+    )
+    def test_every_recorded_call_resolves_identically(self, location, kwargs):
+        # some harvested calls come from error-path tests and are *meant*
+        # to raise; the contract is then that both spellings still raise
+        try:
+            flat = FederatedConfig(**kwargs)
+        except (TypeError, ValueError) as exc:
+            with pytest.raises(type(exc)):
+                _nested_equivalent(dict(kwargs))
+            return
+        nested = _nested_equivalent(dict(kwargs))
+        assert flat == nested, location
+        # the flat fields themselves are untouched by the grouping
+        for name, value in kwargs.items():
+            if name in [f.name for f in dataclasses.fields(FederatedConfig)]:
+                assert getattr(flat, name) == value, (location, name)

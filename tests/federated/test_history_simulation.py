@@ -242,6 +242,75 @@ class TestFederatedSimulation:
         assert scheduler._workers == [] and scheduler._conns == []
         sim_ref[0].close()  # idempotent after the context-manager teardown
 
+    def test_close_with_a_pending_socket_round_does_not_hang(self, small_setup):
+        # teardown race: a transport-wrapped simulation is closed while its
+        # server loop still has a round in flight (no client ever registers).
+        # close() must cancel the pending round — the blocked run_round
+        # raises TransportClosedError instead of hanging — and stay
+        # idempotent afterwards.
+        import threading
+
+        from repro.core.config import TransportConfig
+        from repro.transport.server import (TransportClosedError,
+                                            TransportError)
+
+        sim = self._make(small_setup, config=FederatedConfig(
+            rounds=2, local=LocalTrainingConfig(learning_rate=1e-3), seed=0,
+            transport=TransportConfig(kind="socket", connect_timeout=30.0,
+                                      backoff=0.01),
+        ))
+        sim.transport.start()
+        outcome = []
+
+        def blocked_round():
+            try:
+                sim.transport.run_round(
+                    [sim.client(0)], sim.server.new_client_model,
+                    sim.server.global_state(), sim.config.local,
+                    round_index=0)
+                outcome.append("completed")
+            except TransportClosedError:
+                outcome.append("closed")
+            except TransportError as exc:
+                outcome.append(f"error: {exc}")
+
+        thread = threading.Thread(target=blocked_round, daemon=True)
+        thread.start()
+        import time
+
+        time.sleep(0.3)  # let the round reach its wait-for-clients loop
+        sim.close()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "pending round survived close()"
+        assert outcome == ["closed"]
+        sim.close()  # still idempotent with the loop already gone
+
+    def test_close_chain_survives_a_failing_transport(self, small_setup,
+                                                      tmp_path):
+        # the ledger session must be closed even when the transport (and
+        # then the server) blow up during teardown — the close chain may
+        # not short-circuit on the first failure
+        sim = self._make(small_setup, config=FederatedConfig(
+            rounds=1, local=LocalTrainingConfig(learning_rate=1e-3), seed=0,
+            ledger_path=str(tmp_path / "runs.db"),
+        ))
+        sim.run()
+        ledger_session = sim.ledger_session
+        assert ledger_session is not None
+
+        def exploding_close():
+            raise RuntimeError("transport teardown raced the loop")
+
+        sim.transport.close = exploding_close
+        with pytest.raises(RuntimeError, match="teardown raced"):
+            sim.close()
+        # the chained finally still reached the ledger session
+        from repro.ledger.store import RunLedger
+
+        with RunLedger(str(tmp_path / "runs.db"), create=False) as ledger:
+            info = ledger.run(ledger_session.run_id)
+            assert info.status in ("complete", "completed", "finished")
+
     def test_training_improves_over_rounds(self, small_setup):
         # with enough rounds the global model should beat random guessing (0.1)
         generator, partition, test_set = small_setup

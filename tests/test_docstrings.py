@@ -22,6 +22,8 @@ import typing
 
 import pytest
 
+import repro.api
+import repro.api.session
 import repro.crypto.packing
 import repro.federated
 import repro.federated.aggregation
@@ -43,8 +45,16 @@ import repro.nn.batched
 import repro.scenarios.engine
 import repro.scenarios.report
 import repro.scenarios.spec
+import repro.transport
+import repro.transport.base
+import repro.transport.client
+import repro.transport.messages
+import repro.transport.server
+import repro.transport.wire
 
 AUDITED_MODULES = [
+    repro.api,
+    repro.api.session,
     repro.federated,
     repro.federated.aggregation,
     repro.federated.client,
@@ -66,6 +76,12 @@ AUDITED_MODULES = [
     repro.scenarios.engine,
     repro.scenarios.report,
     repro.scenarios.spec,
+    repro.transport,
+    repro.transport.base,
+    repro.transport.client,
+    repro.transport.messages,
+    repro.transport.server,
+    repro.transport.wire,
 ]
 
 #: inherited members whose docstrings live on the base/stdlib class
