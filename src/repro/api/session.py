@@ -251,6 +251,17 @@ class Session:
                        **knobs) -> "Session":
         """Choose the service layer (in-process, or the asyncio socket server).
 
+        The socket layer's fault-tolerance knobs live here too:
+        ``heartbeat_interval`` / ``heartbeat_limit`` configure liveness
+        probing (a silent connection is declared dead after
+        ``interval * limit`` seconds), and ``retries`` / ``backoff`` /
+        ``max_backoff`` / ``retry_jitter`` shape the capped, jittered
+        reconnection schedule (:class:`~repro.core.retry.RetryPolicy`).
+        Network-level chaos (latency, corruption, partitions) is *not* a
+        transport knob — declare a
+        :class:`~repro.scenarios.NetworkSpec` on the scenario and the
+        simulation interposes the chaos proxy automatically.
+
         Example
         -------
         >>> Session().with_transport(kind="socket",

@@ -45,6 +45,7 @@ from .probability import (
     participation_probability,
 )
 from .registry import ClientCategory, RegistrationResult, RegistryCodebook
+from .retry import RetryPolicy
 from .secure import (
     ProtocolStats,
     SecureAggregationServer,
@@ -73,6 +74,7 @@ __all__ = [
     "RandomSelector",
     "RegistrationResult",
     "RegistryCodebook",
+    "RetryPolicy",
     "SecureAggregationServer",
     "SecureClient",
     "SecureDistributionAggregation",

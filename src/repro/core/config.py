@@ -279,14 +279,22 @@ class TransportConfig:
     client whose :class:`~repro.transport.messages.ModelDelta` misses it is
     dropped from the round as a ``"straggler"`` (``None`` waits forever);
     ``connect_timeout`` bounds how long a round waits for the cohort's
-    clients to register; ``retries``/``backoff`` shape the exponential
-    backoff (``backoff * 2**attempt`` seconds) used both by the server while
-    waiting for registrations and by :class:`repro.transport.TransportClient`
-    when connecting; ``send_queue`` bounds each connection's outbound
-    message queue (backpressure: senders block rather than buffer without
-    limit); ``max_frame_bytes`` caps a single wire frame;
+    clients to register; ``retries``/``backoff``/``max_backoff``/
+    ``retry_jitter`` shape the capped, jittered exponential backoff
+    (:class:`repro.core.retry.RetryPolicy`) used by the server while waiting
+    for registrations and by :class:`repro.transport.TransportClient` when
+    connecting or reconnecting; ``send_queue`` bounds each connection's
+    outbound message queue (backpressure: senders block rather than buffer
+    without limit); ``max_frame_bytes`` caps a single wire frame;
     ``min_participation`` is the partial-round floor applied when real
-    timeouts (not an injected scenario) shrink the cohort.
+    timeouts (not an injected scenario) shrink the cohort;
+    ``heartbeat_interval`` is how often (seconds) the server probes each
+    connection with a :class:`~repro.transport.messages.Heartbeat` (``0``
+    disables liveness probing) and ``heartbeat_limit`` is how many silent
+    intervals a connection may accumulate before it is declared dead and
+    torn down — half-open TCP connections are detected after roughly
+    ``heartbeat_interval * heartbeat_limit`` seconds instead of stalling
+    the round until ``round_timeout``.
 
     Example
     -------
@@ -301,9 +309,13 @@ class TransportConfig:
     connect_timeout: float = 10.0
     retries: int = 5
     backoff: float = 0.05
+    max_backoff: float = 2.0
+    retry_jitter: float = 0.1
     send_queue: int = 32
     max_frame_bytes: int = 1 << 28
     min_participation: float = 0.0
+    heartbeat_interval: float = 10.0
+    heartbeat_limit: int = 3
 
     def __post_init__(self) -> None:
         resolve_transport_kind(self.kind)
@@ -313,16 +325,39 @@ class TransportConfig:
             raise ValueError("round_timeout must be positive (or None)")
         if self.connect_timeout <= 0:
             raise ValueError("connect_timeout must be positive")
-        if self.retries < 0:
-            raise ValueError("retries must be >= 0")
-        if self.backoff < 0:
-            raise ValueError("backoff must be >= 0")
+        self.retry_policy()  # validates retries/backoff/max_backoff/jitter
         if self.send_queue < 1:
             raise ValueError("send_queue must be positive")
         if self.max_frame_bytes < 1024:
             raise ValueError("max_frame_bytes must be at least 1024")
         if not 0.0 <= self.min_participation <= 1.0:
             raise ValueError("min_participation must lie in [0, 1]")
+        if self.heartbeat_interval < 0:
+            raise ValueError("heartbeat_interval must be >= 0 (0 disables)")
+        if self.heartbeat_limit < 1:
+            raise ValueError("heartbeat_limit must be positive")
+
+    def retry_policy(self, seed: int = 0) -> "RetryPolicy":
+        """The :class:`~repro.core.retry.RetryPolicy` these knobs describe.
+
+        ``seed`` desynchronises the jitter of independent actors (the
+        client passes its ``client_id`` so a reconnecting fleet spreads
+        out); the schedule stays deterministic for a given seed.
+
+        Example
+        -------
+        >>> TransportConfig(retry_jitter=0.0).retry_policy().delay(0)
+        0.05
+        """
+        from .retry import RetryPolicy  # local: keep module import light
+
+        return RetryPolicy(
+            retries=self.retries,
+            backoff=self.backoff,
+            max_backoff=self.max_backoff,
+            jitter=self.retry_jitter,
+            seed=seed,
+        )
 
 
 @dataclass(frozen=True)

@@ -69,6 +69,12 @@ class RoundRecord:
     round_delay: float = 0.0
     #: True when a label-drift event re-registered clients before this round
     drift_applied: bool = False
+    #: undecodable frames this round: client id -> count (-1 = unidentified
+    #: peer); populated only by the socket transport
+    decode_failures: Mapping[int, int] = field(default_factory=dict)
+    #: connections lost this round: client id -> cause ("connection_lost",
+    #: "corrupt_frame", "heartbeat"); populated only by the socket transport
+    disconnects: Mapping[int, str] = field(default_factory=dict)
 
     @property
     def participants(self) -> tuple[int, ...]:
@@ -111,6 +117,10 @@ class RoundRecord:
             "actual_population_bias": _native_float(self.actual_population_bias),
             "round_delay": float(self.round_delay),
             "drift_applied": bool(self.drift_applied),
+            "decode_failures": {str(int(k)): int(v)
+                                for k, v in self.decode_failures.items()},
+            "disconnects": {str(int(k)): str(v)
+                            for k, v in self.disconnects.items()},
         }
 
     @classmethod
@@ -142,6 +152,10 @@ class RoundRecord:
                 payload.get("actual_population_bias")),
             round_delay=float(payload.get("round_delay", 0.0)),
             drift_applied=bool(payload.get("drift_applied", False)),
+            decode_failures={int(k): int(v) for k, v in
+                             dict(payload.get("decode_failures") or {}).items()},
+            disconnects={int(k): str(v) for k, v in
+                         dict(payload.get("disconnects") or {}).items()},
         )
 
 
@@ -212,6 +226,42 @@ class TrainingHistory:
         totals: dict[str, int] = {}
         for r in self.records:
             for cause in r.failures.values():
+                totals[cause] = totals.get(cause, 0) + 1
+        return totals
+
+    def decode_failure_totals(self) -> "dict[int, int]":
+        """Undecodable frames over the whole run, keyed by client id.
+
+        ``-1`` collects frames from peers that never finished registering.
+        Non-zero totals mean the link (or a chaos proxy) corrupted traffic
+        — previously these peers were dropped silently.
+
+        Example
+        -------
+        >>> TrainingHistory().decode_failure_totals()
+        {}
+        """
+        totals: dict[int, int] = {}
+        for r in self.records:
+            for client_id, count in r.decode_failures.items():
+                totals[client_id] = totals.get(client_id, 0) + count
+        return totals
+
+    def disconnect_totals(self) -> "dict[str, int]":
+        """Connection losses over the whole run, keyed by cause.
+
+        Causes are ``"connection_lost"`` (EOF/reset), ``"corrupt_frame"``
+        (undecodable traffic cut the link) and ``"heartbeat"`` (declared
+        dead after silent heartbeat intervals).
+
+        Example
+        -------
+        >>> TrainingHistory().disconnect_totals()
+        {}
+        """
+        totals: dict[str, int] = {}
+        for r in self.records:
+            for cause in r.disconnects.values():
                 totals[cause] = totals.get(cause, 0) + 1
         return totals
 

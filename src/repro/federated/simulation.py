@@ -214,6 +214,13 @@ class FederatedConfig:
             raise ValueError(f"eval_backend must be one of {EVAL_BACKENDS}")
         if self.scenario is not None and not isinstance(self.scenario, ScenarioSpec):
             raise TypeError("scenario must be a ScenarioSpec (or None)")
+        if (self.scenario is not None and self.scenario.network is not None
+                and not self.scenario.network.is_empty()
+                and self.transport.kind != "socket"):
+            raise ValueError(
+                "scenario.network injects faults on real sockets and "
+                "requires transport kind='socket'"
+            )
         resolve_run_mode(self.run_mode)
         if self.run_mode != "live" and self.ledger_path is None:
             raise ValueError(
@@ -272,8 +279,14 @@ class FederatedSimulation:
         from ..transport.base import build_transport
 
         #: the seam every round speaks to: in-process executors or sockets
-        self.transport = build_transport(self.config.transport,
-                                         self.config.executor)
+        #: (a scenario's NetworkSpec interposes the chaos proxy, keyed by
+        #: the scenario seed so network faults replay deterministically)
+        scenario = self.config.scenario
+        self.transport = build_transport(
+            self.config.transport, self.config.executor,
+            network=None if scenario is None else scenario.network,
+            chaos_seed=0 if scenario is None else scenario.seed,
+        )
         #: the in-process LocalUpdateExecutor when there is one (None over
         #: sockets); kept as a first-class attribute because scheduler and
         #: workspace telemetry live here
@@ -422,6 +435,8 @@ class FederatedSimulation:
             actual_population_bias=actual_bias,
             round_delay=self.transport.last_round_delay,
             drift_applied=drift_applied,
+            decode_failures=dict(self.transport.last_round_decode_failures),
+            disconnects=dict(self.transport.last_round_disconnects),
         )
         self.transport.on_round_complete(record)
         self.history.append(record)

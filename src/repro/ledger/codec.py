@@ -137,17 +137,20 @@ def scenario_from_dict(payload: "Optional[Mapping]"):
     True
     """
     from ..scenarios.spec import (AvailabilitySpec, ChurnSpec, DriftSpec,
-                                  DropoutSpec, ScenarioSpec, StragglerSpec)
+                                  DropoutSpec, NetworkSpec, ScenarioSpec,
+                                  StragglerSpec)
 
     if payload is None:
         return None
     payload = dict(payload)
+    network = payload.get("network")
     return ScenarioSpec(
         availability=AvailabilitySpec(**payload["availability"]),
         churn=ChurnSpec(**payload["churn"]),
         stragglers=StragglerSpec(**payload["stragglers"]),
         dropouts=DropoutSpec(**payload["dropouts"]),
         drift=DriftSpec(**payload["drift"]),
+        network=None if network is None else NetworkSpec(**network),
         min_participation=payload["min_participation"],
         seed=payload["seed"],
     )

@@ -191,7 +191,10 @@ def diff_records(expected: RoundRecord, actual: RoundRecord,
     must match exactly; floating metrics must agree within *atol*.
     ``fallback_reason`` is deliberately not compared — verifying on a
     different executor back-end may legitimately degrade differently
-    without changing any numeric result.
+    without changing any numeric result.  ``decode_failures`` and
+    ``disconnects`` are likewise uncompared: they record wall-clock
+    link behaviour (heartbeat timing, TCP teardown ordering), which a
+    bit-identical re-execution may legitimately observe differently.
 
     Example
     -------

@@ -5,7 +5,8 @@ Public API
 ----------
 * :class:`ScenarioSpec` and its parts — :class:`AvailabilitySpec`,
   :class:`ChurnSpec`, :class:`StragglerSpec`, :class:`DropoutSpec`,
-  :class:`DriftSpec` — declarative, validated fault descriptions.
+  :class:`DriftSpec`, :class:`NetworkSpec` — declarative, validated fault
+  descriptions (``NetworkSpec`` drives the chaos proxy on real sockets).
 * :class:`FaultInjector`, :class:`RoundPlan`, :class:`ClientFault`,
   :class:`CohortFaults`, :data:`FAILURE_CAUSES` — the seeded engine that
   turns a spec into reproducible per-round decisions.
@@ -31,10 +32,12 @@ from .engine import (
 )
 from .report import ScenarioReport, compare_selectors, run_scenario
 from .spec import (
+    PARTITION_DIRECTIONS,
     AvailabilitySpec,
     ChurnSpec,
     DriftSpec,
     DropoutSpec,
+    NetworkSpec,
     ScenarioSpec,
     StragglerSpec,
 )
@@ -48,6 +51,8 @@ __all__ = [
     "DropoutSpec",
     "FAILURE_CAUSES",
     "FaultInjector",
+    "NetworkSpec",
+    "PARTITION_DIRECTIONS",
     "RoundPlan",
     "ScenarioReport",
     "ScenarioSpec",

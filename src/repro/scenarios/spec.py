@@ -28,9 +28,16 @@ __all__ = [
     "ChurnSpec",
     "DriftSpec",
     "DropoutSpec",
+    "NetworkSpec",
+    "PARTITION_DIRECTIONS",
     "ScenarioSpec",
     "StragglerSpec",
 ]
+
+#: Directions a one-way (or two-way) partition can cut a client's link:
+#: ``"to_server"`` drops client → server traffic, ``"to_client"`` drops
+#: server → client traffic, ``"both"`` isolates the client entirely.
+PARTITION_DIRECTIONS: tuple[str, ...] = ("to_server", "to_client", "both")
 
 
 def _normalized_schedule(schedule: Mapping[int, object], what: str,
@@ -269,11 +276,94 @@ class DriftSpec:
 
 
 @dataclass(frozen=True)
+class NetworkSpec:
+    """Real network faults, induced on the wire by the chaos proxy.
+
+    Unlike every other sub-spec — which the :class:`~repro.scenarios.engine.
+    FaultInjector` *simulates* inside the round loop — a ``NetworkSpec``
+    drives :class:`repro.transport.chaos.ChaosProxy`, a TCP relay that
+    actually delays, damages and cuts traffic between real sockets.  It
+    therefore only applies to ``transport kind="socket"`` runs.
+
+    ``latency`` adds a fixed one-way delay (seconds) to every relayed
+    frame and ``jitter`` an exponential random extra with that mean;
+    ``bandwidth`` caps the relay at that many bytes/second (``None`` is
+    unlimited); ``flip_probability`` / ``truncate_probability`` /
+    ``reset_probability`` are per-frame chances of a single flipped bit, a
+    mid-frame truncation, or an abrupt connection reset; ``partitions``
+    maps a client id to a :data:`PARTITION_DIRECTIONS` entry, silently
+    discarding that client's round traffic in the named direction(s).
+
+    Every probabilistic decision is drawn from an RNG keyed by
+    ``(chaos seed, round, client, direction, frame ordinal)`` — the same
+    determinism contract as the fault injector, so same-seed chaos runs
+    produce identical failure records.
+
+    Example
+    -------
+    >>> spec = NetworkSpec(latency=0.01, flip_probability=0.1,
+    ...                    partitions={3: "to_server"})
+    >>> spec.partitions[3]
+    'to_server'
+    """
+
+    latency: float = 0.0
+    jitter: float = 0.0
+    bandwidth: Optional[float] = None
+    flip_probability: float = 0.0
+    truncate_probability: float = 0.0
+    reset_probability: float = 0.0
+    partitions: Mapping[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive (or None)")
+        _check_probability(self.flip_probability, "flip_probability")
+        _check_probability(self.truncate_probability, "truncate_probability")
+        _check_probability(self.reset_probability, "reset_probability")
+        partitions: dict[int, str] = {}
+        for client_id, direction in dict(self.partitions).items():
+            c = int(client_id)
+            if c < 0:
+                raise ValueError("partition client ids must be >= 0")
+            if direction not in PARTITION_DIRECTIONS:
+                raise ValueError(
+                    f"partition direction must be one of "
+                    f"{PARTITION_DIRECTIONS}, got {direction!r}"
+                )
+            partitions[c] = direction
+        object.__setattr__(self, "partitions", partitions)
+
+    def is_empty(self) -> bool:
+        """Whether this spec induces no network fault of any kind.
+
+        An empty ``NetworkSpec`` still routes traffic through the chaos
+        proxy (exercising the relay) but forwards every frame untouched —
+        the proxy's zero-fault identity.
+
+        Example
+        -------
+        >>> NetworkSpec().is_empty()
+        True
+        """
+        return (self.latency == 0.0 and self.jitter == 0.0
+                and self.bandwidth is None and self.flip_probability == 0.0
+                and self.truncate_probability == 0.0
+                and self.reset_probability == 0.0 and not self.partitions)
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One declarative fault-injection scenario.
 
-    Composes availability, churn, stragglers, dropouts and label drift, plus
-    the partial-round aggregation policy: ``min_participation`` is the
+    Composes availability, churn, stragglers, dropouts and label drift —
+    plus, for socket-transport runs, real wire-level faults
+    (:class:`NetworkSpec`, induced by the chaos proxy rather than simulated)
+    — and the partial-round aggregation policy: ``min_participation`` is the
     fraction of the *planned* cohort that must survive for the round to be
     aggregated — below it the round is skipped and the global model carried
     forward unchanged.  ``seed`` makes every injected fault reproducible:
@@ -296,6 +386,7 @@ class ScenarioSpec:
     stragglers: StragglerSpec = field(default_factory=StragglerSpec)
     dropouts: DropoutSpec = field(default_factory=DropoutSpec)
     drift: DriftSpec = field(default_factory=DriftSpec)
+    network: Optional[NetworkSpec] = None
     min_participation: float = 0.0
     seed: int = 0
 
@@ -307,6 +398,8 @@ class ScenarioSpec:
                           ("drift", DriftSpec)):
             if not isinstance(getattr(self, name), cls):
                 raise TypeError(f"{name} must be a {cls.__name__}")
+        if self.network is not None and not isinstance(self.network, NetworkSpec):
+            raise TypeError("network must be a NetworkSpec (or None)")
         _check_probability(self.min_participation, "min_participation")
         if int(self.seed) != self.seed:
             raise ValueError("seed must be an integer")
@@ -327,4 +420,5 @@ class ScenarioSpec:
         """
         return (self.availability.is_empty() and self.churn.is_empty()
                 and self.stragglers.is_empty() and self.dropouts.is_empty()
-                and self.drift.is_empty())
+                and self.drift.is_empty()
+                and (self.network is None or self.network.is_empty()))

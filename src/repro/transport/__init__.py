@@ -18,17 +18,26 @@ service, following FedLab's separation of *process* from *role*:
   server driving rounds with bounded send queues, timeouts and partial-round
   completion;
 * :mod:`repro.transport.client` — :class:`TransportClient`, a
-  :class:`~repro.federated.client.FederatedClient` behind a socket.
+  :class:`~repro.federated.client.FederatedClient` behind a socket, with
+  capped-backoff reconnection and session resumption;
+* :mod:`repro.transport.chaos` — :class:`ChaosProxy`, a seeded TCP relay
+  that injects the network faults a
+  :class:`~repro.scenarios.spec.NetworkSpec` declares (latency, bit-flips,
+  truncation, resets, partitions) deterministically per
+  ``(round, client, direction, frame)``.
 
 A fault-free localhost round under float64 is bit-identical to the
 in-process sequential run — the transport moves bytes, never arithmetic.
 """
 
 from .base import InProcessTransport, Transport, build_transport
+from .chaos import ChaosProxy
 from .client import TransportClient
 from .messages import (
     MESSAGE_TYPES,
     ErrorNotice,
+    Heartbeat,
+    HeartbeatAck,
     ModelDelta,
     PackedCiphertextUpload,
     ProbabilityBroadcast,
@@ -53,8 +62,11 @@ from .wire import (
 )
 
 __all__ = [
+    "ChaosProxy",
     "CorruptFrameError",
     "ErrorNotice",
+    "Heartbeat",
+    "HeartbeatAck",
     "InProcessTransport",
     "MESSAGE_TYPES",
     "ModelDelta",

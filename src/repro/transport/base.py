@@ -62,6 +62,13 @@ class Transport(ABC):
         self.last_round_delay: float = 0.0
         #: why the most recent round fell back to a slower back-end (or None)
         self.last_fallback_reason: Optional[str] = None
+        #: undecodable frames of the most recent round: client id -> count
+        #: (-1 keys frames from peers that never finished registering);
+        #: always empty in process
+        self.last_round_decode_failures: dict[int, int] = {}
+        #: connection losses of the most recent round: client id -> cause;
+        #: always empty in process
+        self.last_round_disconnects: dict[int, str] = {}
 
     @abstractmethod
     def run_round(self, clients: Sequence[FederatedClient],
@@ -172,14 +179,18 @@ class InProcessTransport(Transport):
 
 
 def build_transport(config: Optional[TransportConfig] = None,
-                    executor: Optional[ExecutorConfig] = None) -> Transport:
+                    executor: Optional[ExecutorConfig] = None,
+                    network=None, chaos_seed: int = 0) -> Transport:
     """Build the transport a config pair asks for.
 
     ``kind="inprocess"`` wraps a fresh
     :class:`~repro.federated.executor.LocalUpdateExecutor` configured from
     *executor*; ``kind="socket"`` starts a
     :class:`~repro.transport.server.SocketTransport` listening on
-    ``config.host:config.port`` (port 0 picks a free port).
+    ``config.host:config.port`` (port 0 picks a free port).  *network* (a
+    :class:`~repro.scenarios.spec.NetworkSpec`) interposes a
+    :class:`~repro.transport.chaos.ChaosProxy` seeded with *chaos_seed* in
+    front of the socket server; it requires ``kind="socket"``.
 
     Example
     -------
@@ -194,7 +205,10 @@ def build_transport(config: Optional[TransportConfig] = None,
     if config.kind == "socket":
         from .server import SocketTransport
 
-        return SocketTransport(config)
+        return SocketTransport(config, network=network, chaos_seed=chaos_seed)
+    if network is not None:
+        raise ValueError(
+            "a NetworkSpec needs real sockets: use TransportConfig(kind='socket')")
     return InProcessTransport(LocalUpdateExecutor(
         mode=executor.mode,
         dtype=executor.dtype,

@@ -4,11 +4,32 @@ behind a socket.
 :class:`TransportClient` is the remote half of the service layer: it owns one
 local :class:`~repro.federated.client.FederatedClient` (the dataset and the
 deterministic local trainer) plus a model factory, connects to a
-:class:`~repro.transport.server.SocketTransport` with exponential-backoff
-retries, registers, and then serves the protocol loop — every
-:class:`~repro.transport.messages.SelectionNotice` is answered with a locally
-trained :class:`~repro.transport.messages.ModelDelta` until the server says
+:class:`~repro.transport.server.SocketTransport` with capped, jittered
+backoff (:class:`~repro.core.retry.RetryPolicy`), registers, and then serves
+the protocol loop — every :class:`~repro.transport.messages.SelectionNotice`
+is answered with a locally trained
+:class:`~repro.transport.messages.ModelDelta` until the server says
 :class:`~repro.transport.messages.Shutdown`.
+
+Fault tolerance
+---------------
+The client is built to survive a flaky link and a crashing server:
+
+* **reconnection** — a lost connection (anything short of a ``Shutdown``)
+  triggers a reconnect loop under the same backoff policy, re-registering
+  with the **session token** from the last
+  :class:`~repro.transport.messages.RegisterAck` so the server resumes the
+  session instead of treating the peer as a stranger;
+* **training survives disconnects** — local training runs in a worker
+  thread off the read loop, so :class:`~repro.transport.messages.Heartbeat`
+  probes are answered mid-training and a connection loss never cancels
+  work in progress.  Finished deltas are cached per round: when the server
+  replays an in-flight ``SelectionNotice`` after a reconnect, the cached
+  delta is resent *without retraining* — and the server's
+  ``(round, client, token)`` dedup guarantees it aggregates exactly once;
+* **graceful exhaustion** — if the server never comes back the reconnect
+  loop gives up after the policy's attempts, records :attr:`last_error`,
+  and returns instead of raising into the owning thread.
 
 Because :meth:`FederatedClient.local_train` seeds its data loader purely from
 ``(client seed, round_index)`` and starts from the broadcast global state, a
@@ -16,19 +37,24 @@ remote update is bit-identical to the one the in-process executor would have
 produced — the property the loopback tests assert end-to-end.
 
 ``delay`` / ``delay_round`` simulate a straggler: the client sleeps before
-replying, so a server-side ``round_timeout`` turns it into a real
+training, so a server-side ``round_timeout`` turns it into a real
 ``"straggler"`` partial round (the transport-smoke CI path).
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
+import numpy as np
+
+from ..core.retry import RetryPolicy
 from ..federated.client import FederatedClient
 from ..nn.module import Module
 from .messages import (
     ErrorNotice,
+    Heartbeat,
+    HeartbeatAck,
     ModelDelta,
     PackedCiphertextUpload,
     ProbabilityBroadcast,
@@ -43,14 +69,19 @@ from .server import TransportError, _read_message
 
 __all__ = ["TransportClient"]
 
+StateDict = Dict[str, np.ndarray]
+
 
 class TransportClient:
     """One federated client served over a TCP connection.
 
     Parameters mirror the server's :class:`~repro.core.config.TransportConfig`
-    knobs where they matter client-side: ``retries`` / ``backoff`` govern the
-    connect loop (``backoff * 2**attempt`` sleep between attempts),
-    ``max_frame_bytes`` caps inbound frames.
+    knobs where they matter client-side: ``retries`` / ``backoff`` /
+    ``max_backoff`` / ``jitter`` govern the connect *and* reconnect loops
+    through a :class:`~repro.core.retry.RetryPolicy` seeded with the client
+    id (each fleet member jitters differently — no thundering herd);
+    ``max_frame_bytes`` caps inbound frames.  ``reconnect=False`` restores
+    the fail-fast behaviour: any disconnect ends :meth:`run`.
 
     Example
     -------
@@ -65,21 +96,22 @@ class TransportClient:
                  model_factory: Callable[[], Module],
                  host: str, port: int,
                  retries: int = 5, backoff: float = 0.05,
+                 max_backoff: float = 2.0, jitter: float = 0.1,
+                 reconnect: bool = True,
                  max_frame_bytes: int = 1 << 28,
                  delay: float = 0.0, delay_round: Optional[int] = None,
                  uploads: Optional[Iterable[Tuple[str, object]]] = None):
-        if retries < 0:
-            raise ValueError("retries must be non-negative")
-        if backoff < 0:
-            raise ValueError("backoff must be non-negative")
         if delay < 0:
             raise ValueError("delay must be non-negative")
         self.client = client
         self.model_factory = model_factory
         self.host = host
         self.port = port
-        self.retries = retries
-        self.backoff = backoff
+        #: capped, jittered backoff schedule for (re)connect attempts
+        self.policy = RetryPolicy(retries=retries, backoff=backoff,
+                                  max_backoff=max_backoff, jitter=jitter,
+                                  seed=int(client.client_id))
+        self.reconnect = reconnect
         self.max_frame_bytes = max_frame_bytes
         self.delay = delay
         self.delay_round = delay_round
@@ -87,21 +119,61 @@ class TransportClient:
         self.uploads = list(uploads or [])
         #: cohort position assigned by the server's RegisterAck
         self.position: Optional[int] = None
+        #: session token issued by the server (echoed on reconnects/deltas)
+        self.token = ""
+        #: how many times this client reconnected after losing the link
+        self.reconnects = 0
+        #: how many registrations the server answered with ``resumed=True``
+        self.sessions_resumed = 0
         #: the last ProbabilityBroadcast received (round_index, probabilities)
         self.last_probabilities: Optional[Tuple[int, Tuple[float, ...]]] = None
         #: every RoundResult received, in order
         self.round_results: "list[RoundResult]" = []
-        #: rounds this client actually trained for
+        #: rounds this client actually trained for (each at most once)
         self.rounds_trained: "list[int]" = []
-        #: why the server rejected us, if it did
+        #: why the server rejected us (or why reconnection gave up)
         self.last_error: Optional[str] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._write_lock: Optional[asyncio.Lock] = None
+        self._delta_cache: "Dict[int, StateDict]" = {}
+        self._training: "Set[int]" = set()
+        self._tasks: "Set[asyncio.Task]" = set()
+        self._shutdown = False
+
+    # -- compatibility accessors -------------------------------------------------
+
+    @property
+    def retries(self) -> int:
+        """Connect retries granted after the first attempt.
+
+        Example
+        -------
+        >>> TransportClient.retries.__doc__ is not None
+        True
+        """
+        return self.policy.retries
+
+    @property
+    def backoff(self) -> float:
+        """Base backoff (seconds) of the connect schedule.
+
+        Example
+        -------
+        >>> TransportClient.backoff.__doc__ is not None
+        True
+        """
+        return self.policy.backoff
+
+    # -- the protocol loop -------------------------------------------------------
 
     def run(self) -> None:
         """Serve the full protocol loop (blocking; run it on its own thread).
 
-        Connects (with retries), registers, ships any queued encrypted
-        uploads, then answers selection notices until shutdown or
-        disconnect.
+        Connects (with capped, jittered retries), registers, ships any
+        queued encrypted uploads, then answers selection notices until
+        shutdown.  A mid-run disconnect triggers reconnection and session
+        resumption; only exhausted reconnect attempts (recorded in
+        :attr:`last_error`) or a ``Shutdown`` end the loop.
 
         Example
         -------
@@ -112,73 +184,148 @@ class TransportClient:
         asyncio.run(self._run_async())
 
     async def _run_async(self) -> None:
-        reader, writer = await self._connect()
-        try:
-            await self._send(writer, Register(
-                client_id=self.client.client_id,
-                num_classes=self.client.num_classes,
-                num_samples=int(self.client.num_samples),
-            ))
-            for tag, vector in self.uploads:
-                await self._send(writer, PackedCiphertextUpload(
-                    client_id=self.client.client_id, tag=tag, vector=vector))
-            while True:
-                message = await _read_message(reader, self.max_frame_bytes)
-                if isinstance(message, Shutdown):
-                    break
-                await self._handle(writer, message)
-        except (asyncio.IncompleteReadError, ConnectionError):
-            pass  # server went away; nothing left to serve
-        finally:
-            writer.close()
+        self._shutdown = False
+        self._write_lock = asyncio.Lock()
+        first_attempt = True
+        while not self._shutdown:
             try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+                reader, writer = await self._connect()
+            except TransportError as exc:
+                if first_attempt:
+                    raise  # initial connect failure is a caller error
+                self.last_error = f"reconnect exhausted: {exc}"
+                break
+            if not first_attempt:
+                self.reconnects += 1
+            first_attempt = False
+            self._writer = writer
+            try:
+                await self._send(Register(
+                    client_id=self.client.client_id,
+                    num_classes=self.client.num_classes,
+                    num_samples=int(self.client.num_samples),
+                    token=self.token,
+                ))
+                for tag, vector in self.uploads:
+                    await self._send(PackedCiphertextUpload(
+                        client_id=self.client.client_id, tag=tag,
+                        vector=vector))
+                while True:
+                    message = await _read_message(reader, self.max_frame_bytes)
+                    if isinstance(message, Shutdown):
+                        self._shutdown = True
+                        break
+                    await self._handle(message)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                pass  # link lost; fall through to reconnect (or give up)
+            finally:
+                self._writer = None
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            if not self.reconnect:
+                break
+        # shutdown (or giving up) makes any in-flight training moot
+        for task in list(self._tasks):
+            if not task.done():
+                task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
 
     async def _connect(self):
         last_error: Optional[Exception] = None
-        for attempt in range(self.retries + 1):
+        for attempt in range(self.policy.attempts):
             try:
                 return await asyncio.open_connection(self.host, self.port)
             except (ConnectionError, OSError) as exc:
                 last_error = exc
-                await asyncio.sleep(self.backoff * (2 ** attempt))
+                if attempt < self.policy.retries:
+                    await asyncio.sleep(self.policy.delay(attempt))
         raise TransportError(
             f"could not connect to {self.host}:{self.port} after "
-            f"{self.retries + 1} attempts: {last_error}"
+            f"{self.policy.attempts} attempts: {last_error}"
         )
 
-    async def _send(self, writer: asyncio.StreamWriter, message) -> None:
-        writer.write(encode_message(message))
-        await writer.drain()
+    async def _send(self, message) -> bool:
+        """Write one frame to the *current* connection (``False`` if gone).
 
-    async def _handle(self, writer: asyncio.StreamWriter, message) -> None:
+        Serialised by a lock so the read loop's acks and a training task's
+        delta never interleave mid-frame.
+        """
+        writer = self._writer
+        if writer is None:
+            return False
+        assert self._write_lock is not None
+        async with self._write_lock:
+            try:
+                writer.write(encode_message(message))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return False
+        return True
+
+    async def _handle(self, message) -> None:
         if isinstance(message, RegisterAck):
             self.position = message.position
+            self.token = message.token
+            if message.resumed:
+                self.sessions_resumed += 1
+        elif isinstance(message, Heartbeat):
+            await self._send(HeartbeatAck(message.seq))
         elif isinstance(message, ProbabilityBroadcast):
             self.last_probabilities = (message.round_index,
                                        message.probabilities)
         elif isinstance(message, SelectionNotice):
-            await self._train_and_reply(writer, message)
+            # train off the read loop: heartbeats keep getting answered and
+            # a disconnect mid-training never cancels the work
+            task = asyncio.ensure_future(self._train_and_reply(message))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
         elif isinstance(message, RoundResult):
             self.round_results.append(message)
+            # the round is closed on the server: cached deltas for it (and
+            # earlier rounds) can never be asked for again
+            for round_index in [r for r in self._delta_cache
+                                if r <= message.round_index]:
+                del self._delta_cache[round_index]
         elif isinstance(message, ErrorNotice):
             self.last_error = message.detail
         # Register/uploads/deltas are client→server only; ignore echoes
 
-    async def _train_and_reply(self, writer: asyncio.StreamWriter,
-                               notice: SelectionNotice) -> None:
-        if self.delay > 0 and (self.delay_round is None
-                               or self.delay_round == notice.round_index):
-            await asyncio.sleep(self.delay)
+    async def _train_and_reply(self, notice: SelectionNotice) -> None:
+        round_index = notice.round_index
+        if round_index in self._delta_cache:
+            # a replayed notice after reconnection: resend, don't retrain
+            await self._send_delta(round_index)
+            return
+        if round_index in self._training:
+            return  # already training; the in-flight task will reply
+        self._training.add(round_index)
+        try:
+            if self.delay > 0 and (self.delay_round is None
+                                   or self.delay_round == round_index):
+                await asyncio.sleep(self.delay)
+            loop = asyncio.get_running_loop()
+            state = await loop.run_in_executor(None, self._train, notice)
+            self._delta_cache[round_index] = state
+            if round_index not in self.rounds_trained:
+                self.rounds_trained.append(round_index)
+        finally:
+            self._training.discard(round_index)
+        await self._send_delta(round_index)
+
+    def _train(self, notice: SelectionNotice) -> StateDict:
         model = self.model_factory()
         model.load_state_dict(dict(notice.state))
-        state = self.client.local_train(model, notice.config,
-                                        round_index=notice.round_index)
-        self.rounds_trained.append(notice.round_index)
-        await self._send(writer, ModelDelta(
-            round_index=notice.round_index,
+        return self.client.local_train(model, notice.config,
+                                       round_index=notice.round_index)
+
+    async def _send_delta(self, round_index: int) -> None:
+        await self._send(ModelDelta(
+            round_index=round_index,
             client_id=self.client.client_id,
-            state=state,
+            state=self._delta_cache[round_index],
+            token=self.token,
         ))

@@ -14,6 +14,18 @@ the Dubhe protocol.  One round is the following exchange::
       | <-- RoundResult -----------  |   round closed (possibly partial)
       | <-- Shutdown --------------  |   federation is over
 
+plus the liveness pair that runs alongside the round exchange::
+
+      | <-- Heartbeat -------------  |   are you alive?
+      | -- HeartbeatAck ---------->  |   yes (connection is not half-open)
+
+:class:`Register` carries a **session token**: empty on a first join, the
+previously issued token on a reconnect, letting the server resume the old
+session (same cohort position, same round state) instead of treating the
+peer as a stranger.  :class:`ModelDelta` echoes the token so retransmits
+after a reconnect are deduplicated by ``(round, client, token)`` and never
+double-aggregate.
+
 Every message is a frozen dataclass with a one-byte :attr:`TYPE` code, a
 ``to_payload`` serialiser and a ``from_payload`` parser built on the
 primitive codecs of :mod:`repro.transport.wire`.  :func:`encode_message`
@@ -45,6 +57,8 @@ from .wire import (
 
 __all__ = [
     "ErrorNotice",
+    "Heartbeat",
+    "HeartbeatAck",
     "MESSAGE_TYPES",
     "ModelDelta",
     "PackedCiphertextUpload",
@@ -63,6 +77,11 @@ __all__ = [
 class Register:
     """Client → server: join the federation.
 
+    ``token`` is empty on a first join; on a reconnect the client echoes
+    the token from its last :class:`RegisterAck`, asking the server to
+    resume the existing session (cohort position, in-flight round) instead
+    of registering a stranger.
+
     Example
     -------
     >>> msg = Register(client_id=3, num_classes=10, num_samples=120)
@@ -75,6 +94,7 @@ class Register:
     client_id: int
     num_classes: int
     num_samples: int
+    token: str = ""
 
     def to_payload(self) -> bytes:
         """Serialise to a frame payload.
@@ -85,7 +105,7 @@ class Register:
         1
         """
         return (WireWriter().u32(self.client_id).u32(self.num_classes)
-                .u32(self.num_samples).getvalue())
+                .u32(self.num_samples).str(self.token).getvalue())
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "Register":
@@ -97,12 +117,17 @@ class Register:
         64
         """
         reader = WireReader(payload)
-        return cls(reader.u32(), reader.u32(), reader.u32())
+        return cls(reader.u32(), reader.u32(), reader.u32(), reader.str())
 
 
 @dataclass(frozen=True)
 class RegisterAck:
     """Server → client: registration accepted, cohort position assigned.
+
+    ``token`` is the session token the client must echo in subsequent
+    :class:`Register` (reconnect) and :class:`ModelDelta` messages;
+    ``resumed`` tells the client whether an existing session was resumed
+    (its in-flight round, if any, is being replayed) or a fresh one opened.
 
     Example
     -------
@@ -116,6 +141,8 @@ class RegisterAck:
     client_id: int
     position: int
     cohort_size: int
+    token: str = ""
+    resumed: bool = False
 
     def to_payload(self) -> bytes:
         """Serialise to a frame payload.
@@ -126,7 +153,8 @@ class RegisterAck:
         0
         """
         return (WireWriter().u32(self.client_id).u32(self.position)
-                .u32(self.cohort_size).getvalue())
+                .u32(self.cohort_size).str(self.token).bool(self.resumed)
+                .getvalue())
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "RegisterAck":
@@ -138,7 +166,8 @@ class RegisterAck:
         4
         """
         reader = WireReader(payload)
-        return cls(reader.u32(), reader.u32(), reader.u32())
+        return cls(reader.u32(), reader.u32(), reader.u32(), reader.str(),
+                   reader.bool())
 
 
 @dataclass(frozen=True)
@@ -349,6 +378,11 @@ class SelectionNotice:
 class ModelDelta:
     """Client → server: locally trained parameters for one round.
 
+    ``token`` echoes the session token from :class:`RegisterAck` so the
+    server can deduplicate retransmits by ``(round, client, token)``: a
+    client that reconnects mid-round and resends its delta is aggregated
+    exactly once.
+
     Example
     -------
     >>> import numpy as np
@@ -363,6 +397,7 @@ class ModelDelta:
     round_index: int
     client_id: int
     state: "Mapping[str, np.ndarray]"
+    token: str = ""
 
     def to_payload(self) -> bytes:
         """Serialise to a frame payload.
@@ -372,7 +407,8 @@ class ModelDelta:
         >>> ModelDelta.from_payload(ModelDelta(1, 2, {}).to_payload()).client_id
         2
         """
-        writer = WireWriter().u32(self.round_index).u32(self.client_id)
+        writer = (WireWriter().u32(self.round_index).u32(self.client_id)
+                  .str(self.token))
         state_to_wire(self.state, writer)
         return writer.getvalue()
 
@@ -386,7 +422,10 @@ class ModelDelta:
         3
         """
         reader = WireReader(payload)
-        return cls(reader.u32(), reader.u32(), state_from_wire(reader))
+        round_index = reader.u32()
+        client_id = reader.u32()
+        token = reader.str()
+        return cls(round_index, client_id, state_from_wire(reader), token)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ModelDelta):
@@ -536,12 +575,89 @@ class ErrorNotice:
         return cls(WireReader(payload).str())
 
 
+@dataclass(frozen=True)
+class Heartbeat:
+    """Server → client: liveness probe (detects half-open connections).
+
+    ``seq`` is a per-connection sequence number; the client echoes it back
+    in a :class:`HeartbeatAck`.  A connection that stays silent for
+    ``heartbeat_interval * heartbeat_limit`` seconds is declared dead and
+    torn down well before the round deadline.
+
+    Example
+    -------
+    >>> decode_message(encode_message(Heartbeat(seq=4)))[0].seq
+    4
+    """
+
+    TYPE = 10
+
+    seq: int
+
+    def to_payload(self) -> bytes:
+        """Serialise to a frame payload.
+
+        Example
+        -------
+        >>> Heartbeat.from_payload(Heartbeat(7).to_payload()).seq
+        7
+        """
+        return WireWriter().u32(self.seq).getvalue()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Heartbeat":
+        """Parse from a frame payload.
+
+        Example
+        -------
+        >>> Heartbeat.from_payload(Heartbeat(0).to_payload()).seq
+        0
+        """
+        return cls(WireReader(payload).u32())
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    """Client → server: liveness probe answered, connection is healthy.
+
+    Example
+    -------
+    >>> decode_message(encode_message(HeartbeatAck(seq=4)))[0].seq
+    4
+    """
+
+    TYPE = 11
+
+    seq: int
+
+    def to_payload(self) -> bytes:
+        """Serialise to a frame payload.
+
+        Example
+        -------
+        >>> HeartbeatAck.from_payload(HeartbeatAck(9).to_payload()).seq
+        9
+        """
+        return WireWriter().u32(self.seq).getvalue()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "HeartbeatAck":
+        """Parse from a frame payload.
+
+        Example
+        -------
+        >>> HeartbeatAck.from_payload(HeartbeatAck(1).to_payload()).seq
+        1
+        """
+        return cls(WireReader(payload).u32())
+
+
 #: One-byte type code → message class, the registry the decoder dispatches on.
 MESSAGE_TYPES: "Dict[int, Type]" = {
     cls.TYPE: cls
     for cls in (Register, RegisterAck, PackedCiphertextUpload,
                 ProbabilityBroadcast, SelectionNotice, ModelDelta,
-                RoundResult, Shutdown, ErrorNotice)
+                RoundResult, Shutdown, ErrorNotice, Heartbeat, HeartbeatAck)
 }
 
 

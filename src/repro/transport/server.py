@@ -14,23 +14,56 @@ writer task draining a **bounded** send queue — a slow client applies
 backpressure to its own queue without stalling the other clients or
 unbounding server memory.  A frame that fails the structured wire checks
 (:class:`~repro.transport.wire.CorruptFrameError` and friends) earns the
-peer an :class:`~repro.transport.messages.ErrorNotice` and a disconnect.
+peer an :class:`~repro.transport.messages.ErrorNotice` and a disconnect —
+counted per client in :attr:`SocketTransport.decode_failures` and
+:attr:`SocketTransport.disconnects`, surfaced per round on the
+:class:`~repro.federated.history.RoundRecord`, so a silently-dropped peer
+always leaves a trace in the run record.
+
+Liveness and session resumption
+-------------------------------
+Every connection runs a **health state machine** (``healthy`` → ``degraded``
+→ ``dead``): the server probes each client with a
+:class:`~repro.transport.messages.Heartbeat` every ``heartbeat_interval``
+seconds, and any inbound traffic (a :class:`~repro.transport.messages.
+HeartbeatAck` or a protocol message) proves liveness.  A connection silent
+for ``heartbeat_interval * heartbeat_limit`` seconds is declared dead and
+torn down — a half-open TCP connection is detected well before the round
+deadline instead of stalling the round until ``round_timeout``.
+
+Registration issues a **session token** (echoed in the
+:class:`~repro.transport.messages.RegisterAck`).  A client that loses its
+connection mid-round may reconnect, present the token, and resume: it keeps
+its cohort position, any in-flight
+:class:`~repro.transport.messages.SelectionNotice` is replayed, and its
+:class:`~repro.transport.messages.ModelDelta` is deduplicated by
+``(round, client, token)`` so a retransmit is aggregated exactly once.  The
+reply window of a disconnected client therefore stays open until the round
+deadline — only a heartbeat-confirmed death fails it early.
 
 Round protocol
 --------------
-``run_round`` waits (with exponential backoff, bounded by
-``connect_timeout`` / ``retries``) until every cohort client is registered,
-resolves injected faults *server-side* — a client marked as dropped by the
-scenario's :class:`~repro.scenarios.engine.FaultInjector` is never
-dispatched to, so scenario outcomes are byte-identical across back-ends —
-then sends each survivor a :class:`~repro.transport.messages.SelectionNotice`
-and awaits their :class:`~repro.transport.messages.ModelDelta` replies under
-``round_timeout``.  A client that misses the deadline is recorded as a
-``"straggler"`` and a disconnected one as ``"offline"`` (both members of
+``run_round`` waits (capped, jittered backoff via
+:class:`~repro.core.retry.RetryPolicy`, bounded by ``connect_timeout`` /
+``retries``) until every cohort client is registered, resolves injected
+faults *server-side* — a client marked as dropped by the scenario's
+:class:`~repro.scenarios.engine.FaultInjector` is never dispatched to, so
+scenario outcomes are byte-identical across back-ends — then sends each
+survivor a :class:`~repro.transport.messages.SelectionNotice` and awaits
+their :class:`~repro.transport.messages.ModelDelta` replies under
+``round_timeout``.  A client that misses the deadline while still connected
+is recorded as a ``"straggler"``; one that is gone (and never reconnected in
+time) as ``"offline"`` (both members of
 :data:`repro.scenarios.engine.FAILURE_CAUSES`), and the partial survivor
 set flows into :meth:`repro.federated.server.FederatedServer.aggregate`'s
 ``expected_count`` / ``min_participation`` skip policy exactly like an
 injected fault would.
+
+When the transport is built with a
+:class:`~repro.scenarios.spec.NetworkSpec`, a
+:class:`~repro.transport.chaos.ChaosProxy` is interposed: :attr:`address`
+is the proxy's address, and every client byte crosses the fault-inducing
+relay while the server itself stays oblivious.
 """
 
 from __future__ import annotations
@@ -38,7 +71,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import threading
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -48,6 +81,8 @@ from ..nn.module import Module
 from .base import Transport
 from .messages import (
     ErrorNotice,
+    Heartbeat,
+    HeartbeatAck,
     ModelDelta,
     PackedCiphertextUpload,
     ProbabilityBroadcast,
@@ -69,6 +104,9 @@ _HEADER_SIZE = 8
 #: wire-frame trailer size (crc32)
 _TRAILER_SIZE = 4
 
+#: key for decode failures on connections that never registered
+_UNKNOWN_CLIENT = -1
+
 
 class TransportError(RuntimeError):
     """A round could not be driven over the socket transport."""
@@ -81,17 +119,34 @@ class TransportClosedError(TransportError):
 class _ClientSession:
     """Server-side state of one connected client (private)."""
 
-    def __init__(self, writer: asyncio.StreamWriter, send_queue: int):
+    def __init__(self, writer: asyncio.StreamWriter, send_queue: int,
+                 now: float):
         self.writer = writer
         self.queue: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue(maxsize=send_queue)
         self.client_id: Optional[int] = None
         self.position: Optional[int] = None
+        self.token = ""
+        #: liveness state machine: "healthy" -> "degraded" -> "dead"
+        self.health = "healthy"
+        #: loop time of the last inbound frame (any traffic proves liveness)
+        self.last_seen = now
+        self.heartbeat_seq = 0
         self.closed = False
 
     async def send(self, message) -> None:
         """Enqueue a message (blocks when the bounded queue is full)."""
         if not self.closed:
             await self.queue.put(encode_message(message))
+
+    def try_send(self, message) -> bool:
+        """Enqueue without blocking; ``False`` when the queue is full."""
+        if self.closed:
+            return False
+        try:
+            self.queue.put_nowait(encode_message(message))
+        except asyncio.QueueFull:
+            return False
+        return True
 
     async def drain(self) -> None:
         """Writer task body: flush queued frames to the socket in order."""
@@ -143,6 +198,12 @@ class SocketTransport(Transport):
     :meth:`~repro.federated.client.FederatedClient.local_train` from the
     very same broadcast state.
 
+    With a *network* spec the transport interposes a
+    :class:`~repro.transport.chaos.ChaosProxy` seeded with *chaos_seed*
+    (conventionally the scenario seed): :attr:`address` becomes the proxy's
+    address and real wire faults surface through the same failure records
+    as injected ones.
+
     Example
     -------
     >>> from repro.core.config import TransportConfig
@@ -153,29 +214,58 @@ class SocketTransport(Transport):
     >>> transport.close()
     """
 
-    def __init__(self, config: Optional[TransportConfig] = None):
+    def __init__(self, config: Optional[TransportConfig] = None,
+                 network=None, chaos_seed: int = 0):
         super().__init__()
         self.config = config or TransportConfig(kind="socket")
-        #: ``(host, port)`` actually bound (after :meth:`start`)
+        #: optional :class:`~repro.scenarios.spec.NetworkSpec` driving a
+        #: chaos proxy in front of the server
+        self.network = network
+        self.chaos_seed = int(chaos_seed)
+        #: the interposed :class:`~repro.transport.chaos.ChaosProxy`
+        #: (``None`` without a network spec or before :meth:`start`)
+        self.proxy = None
+        #: public ``(host, port)`` clients should dial (the proxy's address
+        #: when a network spec is set; after :meth:`start`)
         self.address: Optional[Tuple[str, int]] = None
+        #: the server socket's own bind address (behind the proxy)
+        self.bind_address: Optional[Tuple[str, int]] = None
         #: encrypted uploads received so far: client_id -> tag -> vector
         self.uploads: "Dict[int, dict]" = {}
+        #: cumulative malformed-frame counts per client id (-1 = a
+        #: connection that never registered)
+        self.decode_failures: "Dict[int, int]" = {}
+        #: cumulative latest disconnect cause per client id
+        self.disconnects: "Dict[int, str]" = {}
+        #: total ModelDelta retransmits ignored by the (round, client,
+        #: token) dedup — every one of these would have double-aggregated
+        self.duplicate_deltas = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._sessions: "Dict[int, _ClientSession]" = {}
         self._pending: "Dict[Tuple[int, int], asyncio.Future]" = {}
+        self._round_notices: "Dict[Tuple[int, int], SelectionNotice]" = {}
+        self._seen_deltas: "Set[Tuple[int, int, str]]" = set()
+        self._tokens: "Dict[int, str]" = {}
+        self._positions: "Dict[int, int]" = {}
+        self._next_token = 0
+        self._round_decode: "Dict[int, int]" = {}
+        self._round_disconnects: "Dict[int, str]" = {}
+        self._round_task: Optional["asyncio.Task"] = None
         self._roster_changed: Optional[asyncio.Event] = None
         self._closing = False
 
     # -- lifecycle --------------------------------------------------------------
 
     def start(self) -> Tuple[str, int]:
-        """Bind the listening socket and return ``(host, port)``.
+        """Bind the listening socket and return the public ``(host, port)``.
 
         Idempotent: a started transport returns its existing address.  The
         event loop runs on a daemon thread, so the caller's thread (the
-        simulation loop) never blocks on socket readiness.
+        simulation loop) never blocks on socket readiness.  With a network
+        spec the chaos proxy is started in front of the server and its
+        address returned instead.
 
         Example
         -------
@@ -196,7 +286,17 @@ class SocketTransport(Transport):
         self._loop = loop
         self._thread = thread
         future = asyncio.run_coroutine_threadsafe(self._start_async(), loop)
-        self.address = future.result(timeout=self.config.connect_timeout)
+        self.bind_address = future.result(timeout=self.config.connect_timeout)
+        if self.network is not None:
+            from .chaos import ChaosProxy  # local: optional dependency edge
+
+            self.proxy = ChaosProxy(
+                self.bind_address, spec=self.network, seed=self.chaos_seed,
+                host=self.config.host,
+                max_frame_bytes=self.config.max_frame_bytes)
+            self.address = self.proxy.start()
+        else:
+            self.address = self.bind_address
         return self.address
 
     async def _start_async(self) -> Tuple[str, int]:
@@ -204,6 +304,8 @@ class SocketTransport(Transport):
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.config.host,
             port=self.config.port)
+        if self.config.heartbeat_interval > 0:
+            asyncio.ensure_future(self._heartbeat_loop())
         sockname = self._server.sockets[0].getsockname()
         return sockname[0], sockname[1]
 
@@ -215,7 +317,8 @@ class SocketTransport(Transport):
         (the blocked ``run_round`` raises :class:`TransportClosedError`
         instead of hanging), every client gets a best-effort
         :class:`~repro.transport.messages.Shutdown`, and the loop thread is
-        joined.
+        joined.  The chaos proxy (when present) is closed *after* the
+        server, so shutdown frames are still relayed to the fleet.
 
         Example
         -------
@@ -240,14 +343,28 @@ class SocketTransport(Transport):
             thread.join(timeout=self.config.connect_timeout)
         if not loop.is_running() and not loop.is_closed():
             loop.close()
+        if self.proxy is not None:
+            self.proxy.close()
+            self.proxy = None
         self._loop = None
         self._thread = None
         self._server = None
         self._sessions = {}
         self._pending = {}
+        self._round_notices = {}
         self.address = None
+        self.bind_address = None
 
     async def _shutdown_async(self) -> None:
+        # a round blocked in its registration wait holds no pending futures
+        # yet: cancel it eagerly (the bridging future surfaces the cancel as
+        # TransportClosedError) rather than letting it ride out the reader
+        # grace window below and time out on its own
+        round_task = self._round_task
+        self._round_task = None
+        if round_task is not None and not round_task.done():
+            round_task.cancel()
+            await asyncio.gather(round_task, return_exceptions=True)
         for future in list(self._pending.values()):
             if not future.done():
                 future.cancel()
@@ -266,29 +383,97 @@ class SocketTransport(Transport):
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        # reap the per-connection reader/writer tasks before the loop stops,
-        # so none are destroyed while still pending
+        # reap the per-connection reader/writer tasks (and the heartbeat
+        # loop) before the loop stops, so none are destroyed while pending.
+        # The session writers just closed, so readers exit on their own
+        # within the grace window; cancelling a reader still parked in
+        # readexactly would make the streams-internal done-callback re-raise
+        # CancelledError into the loop's exception handler (noisy on 3.11)
         current = asyncio.current_task()
         leftovers = [task for task in asyncio.all_tasks()
                      if task is not current]
-        for task in leftovers:
-            task.cancel()
         if leftovers:
-            await asyncio.gather(*leftovers, return_exceptions=True)
+            _, pending = await asyncio.wait(leftovers, timeout=1.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    # -- liveness ---------------------------------------------------------------
+
+    async def _heartbeat_loop(self) -> None:
+        """Probe every connection; tear down the ones that went silent.
+
+        A session that fails to show *any* inbound traffic for
+        ``heartbeat_interval * heartbeat_limit`` seconds transitions to
+        ``"dead"``: its pending reply future fails immediately (the round
+        does not wait out ``round_timeout`` for a half-open socket), its
+        disconnect is recorded with cause ``"heartbeat"``, and the
+        connection is closed.  One silent interval marks it ``"degraded"``.
+        """
+        assert self._loop is not None
+        interval = self.config.heartbeat_interval
+        dead_after = interval * self.config.heartbeat_limit
+        try:
+            while not self._closing:
+                await asyncio.sleep(interval)
+                now = self._loop.time()
+                for client_id, session in list(self._sessions.items()):
+                    silent = now - session.last_seen
+                    if silent >= dead_after:
+                        session.health = "dead"
+                        self._record_disconnect(client_id, "heartbeat")
+                        self._fail_pending_for(
+                            client_id, "declared dead by heartbeat")
+                        if self._sessions.get(client_id) is session:
+                            del self._sessions[client_id]
+                        session.close()
+                        continue
+                    session.health = ("degraded" if silent >= interval
+                                      else session.health)
+                    session.heartbeat_seq += 1
+                    # best-effort: a full queue is backpressure, not death —
+                    # the peer's next protocol message proves it alive
+                    session.try_send(Heartbeat(session.heartbeat_seq))
+        except asyncio.CancelledError:
+            pass
+
+    def client_health(self, client_id: int) -> Optional[str]:
+        """The health state of *client_id*'s connection (``None`` if absent).
+
+        Example
+        -------
+        >>> from repro.core.config import TransportConfig
+        >>> transport = SocketTransport(TransportConfig(kind="socket"))
+        >>> transport.client_health(0) is None
+        True
+        """
+        session = self._sessions.get(client_id)
+        return None if session is None else session.health
 
     # -- connection handling ----------------------------------------------------
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
-        session = _ClientSession(writer, self.config.send_queue)
+        assert self._loop is not None
+        session = _ClientSession(writer, self.config.send_queue,
+                                 now=self._loop.time())
         drain_task = asyncio.ensure_future(session.drain())
+        cause = "connection_lost"
         try:
             while True:
                 message = await _read_message(reader, self.config.max_frame_bytes)
+                session.last_seen = self._loop.time()
+                session.health = "healthy"
                 await self._dispatch(session, message)
         except (asyncio.IncompleteReadError, ConnectionError):
             pass  # client went away
         except WireError as exc:
+            cause = "corrupt_frame"
+            key = (session.client_id if session.client_id is not None
+                   else _UNKNOWN_CLIENT)
+            self.decode_failures[key] = self.decode_failures.get(key, 0) + 1
+            self._round_decode[key] = self._round_decode.get(key, 0) + 1
             try:
                 writer.write(encode_message(ErrorNotice(str(exc))))
                 await asyncio.wait_for(writer.drain(), timeout=1.0)
@@ -302,14 +487,24 @@ class SocketTransport(Transport):
             if session.client_id is not None:
                 if self._sessions.get(session.client_id) is session:
                     del self._sessions[session.client_id]
-                self._fail_pending_for(session.client_id)
+                    self._record_disconnect(session.client_id, cause)
+                # a session no longer registered was already torn down with
+                # its own cause (heartbeat death, or replaced by a reconnect)
+                # NOTE: pending reply futures are deliberately NOT failed
+                # here — the reconnect window stays open until the round
+                # deadline (only the heartbeat declares a client dead early)
 
-    def _fail_pending_for(self, client_id: int) -> None:
-        """A client vanished: fail its outstanding reply futures as offline."""
+    def _record_disconnect(self, client_id: int, cause: str) -> None:
+        """Remember why a client's connection ended (first cause per round)."""
+        self.disconnects[client_id] = cause
+        self._round_disconnects.setdefault(client_id, cause)
+
+    def _fail_pending_for(self, client_id: int, why: str) -> None:
+        """Fail a client's outstanding reply futures (heartbeat death)."""
         for (round_index, cid), future in list(self._pending.items()):
             if cid == client_id and not future.done():
                 future.set_exception(
-                    TransportError(f"client {client_id} disconnected mid-round")
+                    TransportError(f"client {client_id}: {why}")
                 )
 
     async def _dispatch(self, session: _ClientSession, message) -> None:
@@ -317,20 +512,53 @@ class SocketTransport(Transport):
             stale = self._sessions.get(message.client_id)
             if stale is not None and stale is not session:
                 stale.close()  # reconnect replaces the old connection
+            resumed = bool(message.token) and (
+                self._tokens.get(message.client_id) == message.token)
+            if resumed:
+                token = message.token
+            else:
+                self._next_token += 1
+                token = f"s{self._next_token}"
+                self._tokens[message.client_id] = token
+            position = self._positions.get(message.client_id)
+            if position is None:
+                position = len(self._positions)
+                self._positions[message.client_id] = position
             session.client_id = message.client_id
+            session.token = token
+            session.position = position
             self._sessions[message.client_id] = session
-            session.position = len(self._sessions) - 1
             assert self._roster_changed is not None
             self._roster_changed.set()
-            await session.send(RegisterAck(message.client_id, session.position,
-                                           len(self._sessions)))
+            await session.send(RegisterAck(message.client_id, position,
+                                           len(self._sessions), token=token,
+                                           resumed=resumed))
+            # replay any in-flight selection this client has not answered:
+            # a reconnecting peer (resumed or freshly re-registered) rejoins
+            # the round instead of missing its own deadline
+            for (round_index, cid), future in list(self._pending.items()):
+                if cid == message.client_id and not future.done():
+                    notice = self._round_notices.get((round_index, cid))
+                    if notice is not None:
+                        await session.send(notice)
         elif isinstance(message, PackedCiphertextUpload):
             self.uploads.setdefault(message.client_id, {})[message.tag] = \
                 message.vector
         elif isinstance(message, ModelDelta):
+            key = (message.round_index, message.client_id, message.token)
+            if key in self._seen_deltas:
+                self.duplicate_deltas += 1
+                return
+            self._seen_deltas.add(key)
             future = self._pending.get((message.round_index, message.client_id))
             if future is not None and not future.done():
                 future.set_result(message.state)
+            else:
+                # an answered (or closed) round: a fresh-token retransmit
+                # still must not double-aggregate
+                self.duplicate_deltas += 1
+        elif isinstance(message, HeartbeatAck):
+            session.health = "healthy"  # last_seen already updated
         elif isinstance(message, ErrorNotice):
             self.last_fallback_reason = f"client error: {message.detail}"
         # other message types are server→client only; ignore echoes
@@ -402,8 +630,10 @@ class SocketTransport(Transport):
         Mirrors :meth:`repro.federated.executor.LocalUpdateExecutor.run_round`:
         returns the survivors' states in cohort order; injected *faults* are
         resolved server-side (failed positions are never dispatched), real
-        deadline misses become ``"straggler"`` and disconnects ``"offline"``
-        in :attr:`last_round_failures`.
+        deadline misses become ``"straggler"`` and vanished clients
+        ``"offline"`` in :attr:`last_round_failures`, with the round's
+        malformed-frame counts and disconnect causes snapshotted into
+        :attr:`last_round_decode_failures` / :attr:`last_round_disconnects`.
 
         Example
         -------
@@ -414,6 +644,8 @@ class SocketTransport(Transport):
         >>> transport.close()
         """
         self.last_round_failures = {}
+        self.last_round_decode_failures = {}
+        self.last_round_disconnects = {}
         self.last_round_delay = 0.0
         self.last_fallback_reason = None
         if not clients:
@@ -440,8 +672,8 @@ class SocketTransport(Transport):
         else:
             result_timeout = None
         try:
-            states_by_position, real_failures = future.result(
-                timeout=result_timeout)
+            states_by_position, real_failures, decode, disconnects = \
+                future.result(timeout=result_timeout)
         except (asyncio.CancelledError, concurrent.futures.CancelledError):
             # the bridging future raises the concurrent.futures flavour,
             # which is not the asyncio class on every interpreter
@@ -456,6 +688,8 @@ class SocketTransport(Transport):
             )
         self.last_round_failures = dict(injected)
         self.last_round_failures.update(real_failures)
+        self.last_round_decode_failures = decode
+        self.last_round_disconnects = disconnects
         survivors = [p for p in range(len(clients))
                      if p not in self.last_round_failures]
         # remote peers incremented their own participation counters; mirror
@@ -469,6 +703,9 @@ class SocketTransport(Transport):
                                config: LocalTrainingConfig,
                                round_index: int,
                                injected: "dict[int, str]"):
+        self._round_task = asyncio.current_task()
+        self._round_decode = {}
+        self._round_disconnects = {}
         await self._wait_for_clients(ids)
         assert self._loop is not None
         deadline = self.config.round_timeout
@@ -481,7 +718,12 @@ class SocketTransport(Transport):
             notice = SelectionNotice(round_index=round_index,
                                      client_id=client_id, config=config,
                                      state=global_state, deadline=deadline)
-            await self._sessions[client_id].send(notice)
+            self._round_notices[(round_index, client_id)] = notice
+            session = self._sessions.get(client_id)
+            if session is not None:
+                await session.send(notice)
+            # a client that disconnected after registration gets the notice
+            # replayed when (if) it reconnects before the deadline
             pending[position] = (client_id, reply)
         real_failures: "dict[int, str]" = {}
         states: "dict[int, StateDict]" = {}
@@ -490,21 +732,29 @@ class SocketTransport(Transport):
                                timeout=deadline)
         for position, (client_id, reply) in pending.items():
             self._pending.pop((round_index, client_id), None)
+            self._round_notices.pop((round_index, client_id), None)
             if reply.cancelled():
                 raise asyncio.CancelledError()
             if reply.done() and reply.exception() is None:
                 states[position] = reply.result()
             elif reply.done():
-                reply.exception()  # consume it
+                reply.exception()  # consume it (heartbeat-declared death)
                 real_failures[position] = "offline"
             else:
                 reply.cancel()
-                real_failures[position] = "straggler"
-        return states, real_failures
+                # deadline passed: a client still connected just ran long;
+                # one that vanished (and never reconnected) is offline
+                real_failures[position] = (
+                    "straggler" if client_id in self._sessions else "offline")
+        self._seen_deltas = {key for key in self._seen_deltas
+                             if key[0] != round_index}
+        return (states, real_failures, dict(self._round_decode),
+                dict(self._round_disconnects))
 
     async def _wait_for_clients(self, ids: Sequence[int]) -> None:
         """Wait until every cohort client is registered (backoff + deadline)."""
         assert self._loop is not None and self._roster_changed is not None
+        policy = self.config.retry_policy()
         deadline = self._loop.time() + self.config.connect_timeout
         attempt = 0
         while True:
@@ -518,8 +768,7 @@ class SocketTransport(Transport):
                     f"{self.config.connect_timeout}s "
                     f"({attempt} waits, backoff {self.config.backoff}s)"
                 )
-            step = min(max(self.config.backoff, 0.001) * (2 ** attempt),
-                       remaining)
+            step = min(max(policy.delay(attempt), 0.001), remaining)
             self._roster_changed.clear()
             try:
                 await asyncio.wait_for(self._roster_changed.wait(),

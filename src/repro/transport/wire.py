@@ -65,7 +65,9 @@ WIRE_MAGIC = b"DU"
 #: Protocol version stamped into every frame.  Bump on any incompatible
 #: change to the frame layout or a message payload; peers reject frames
 #: stamped with any other version (:class:`VersionMismatchError`).
-WIRE_VERSION = 1
+#: v2: session tokens on Register/RegisterAck/ModelDelta and the
+#: Heartbeat/HeartbeatAck liveness pair.
+WIRE_VERSION = 2
 
 #: Frame layout: magic, version, msg_type, payload length.
 _HEADER = struct.Struct(">2sBBI")

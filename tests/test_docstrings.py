@@ -24,6 +24,7 @@ import pytest
 
 import repro.api
 import repro.api.session
+import repro.core.retry
 import repro.crypto.packing
 import repro.federated
 import repro.federated.aggregation
@@ -47,6 +48,7 @@ import repro.scenarios.report
 import repro.scenarios.spec
 import repro.transport
 import repro.transport.base
+import repro.transport.chaos
 import repro.transport.client
 import repro.transport.messages
 import repro.transport.server
@@ -55,6 +57,7 @@ import repro.transport.wire
 AUDITED_MODULES = [
     repro.api,
     repro.api.session,
+    repro.core.retry,
     repro.federated,
     repro.federated.aggregation,
     repro.federated.client,
@@ -78,6 +81,7 @@ AUDITED_MODULES = [
     repro.scenarios.spec,
     repro.transport,
     repro.transport.base,
+    repro.transport.chaos,
     repro.transport.client,
     repro.transport.messages,
     repro.transport.server,

@@ -15,6 +15,8 @@ from repro.federated.client import LocalTrainingConfig
 from repro.transport.messages import (
     MESSAGE_TYPES,
     ErrorNotice,
+    Heartbeat,
+    HeartbeatAck,
     ModelDelta,
     PackedCiphertextUpload,
     ProbabilityBroadcast,
@@ -47,8 +49,20 @@ class TestRoundTrips:
     def test_register(self):
         assert roundtrip(Register(3, 10, 120)) == Register(3, 10, 120)
 
+    def test_register_with_session_token(self):
+        msg = Register(3, 10, 120, token="s7")
+        assert roundtrip(msg) == msg and roundtrip(msg).token == "s7"
+
     def test_register_ack(self):
         assert roundtrip(RegisterAck(3, 1, 4)) == RegisterAck(3, 1, 4)
+
+    def test_register_ack_carries_token_and_resumed(self):
+        back = roundtrip(RegisterAck(3, 1, 4, token="s2", resumed=True))
+        assert back.token == "s2" and back.resumed is True
+
+    def test_heartbeat_pair(self):
+        assert roundtrip(Heartbeat(41)).seq == 41
+        assert roundtrip(HeartbeatAck(41)).seq == 41
 
     def test_probability_broadcast(self):
         msg = ProbabilityBroadcast(2, (0.125, 0.375, 0.5))
@@ -71,6 +85,14 @@ class TestRoundTrips:
     def test_model_delta(self):
         msg = ModelDelta(1, 7, STATE)
         assert roundtrip(msg) == msg
+
+    def test_model_delta_token_survives_but_never_compares(self):
+        msg = ModelDelta(1, 7, STATE, token="s9")
+        back = roundtrip(msg)
+        assert back.token == "s9"
+        # equality is over (round, client, state): a resent delta from a
+        # fresh session still equals the original
+        assert back == ModelDelta(1, 7, STATE, token="other")
 
     def test_round_result_partial(self):
         msg = RoundResult(3, False, accuracy=0.625,
@@ -97,8 +119,8 @@ class TestRoundTrips:
 
 class TestRejection:
     def test_type_codes_are_unique_and_registered(self):
-        assert len(MESSAGE_TYPES) == 9
-        assert sorted(MESSAGE_TYPES) == list(range(1, 10))
+        assert len(MESSAGE_TYPES) == 11
+        assert sorted(MESSAGE_TYPES) == list(range(1, 12))
 
     def test_unknown_type_code_is_corrupt(self):
         with pytest.raises(CorruptFrameError, match="unknown message type"):
