@@ -1,13 +1,15 @@
 #!/usr/bin/env python
 """Regression gate: compare a smoke benchmark run against a committed baseline.
 
-CI runs the smoke variants of ``bench_crypto.py`` / ``bench_sim.py`` on
-whatever runner it gets, so *absolute* throughput is not comparable to the
-committed ``BENCH_*.json`` (different CPUs, different load).  What IS
-comparable are the machine-relative **ratios** both files record — packed vs
-per-component encryption, vectorized vs sequential training, warm vs cold
-rounds, batched vs sequential evaluation: each divides two measurements taken
-on the same box, so a code-level regression moves them on every machine.
+CI runs the smoke variants of ``bench_crypto.py`` / ``bench_sim.py`` /
+``bench_registry.py`` on whatever runner it gets, so *absolute* throughput is
+not comparable to the committed ``BENCH_*.json`` (different CPUs, different
+load).  What IS comparable are the machine-relative **ratios** both files
+record — packed vs per-component encryption, vectorized vs sequential
+training, warm vs cold rounds, batched vs sequential evaluation, batched vs
+looped registration and streaming vs materialised peak memory: each divides
+two measurements taken on the same box, so a code-level regression moves
+them on every machine.
 
 This script extracts every ratio metric present in *both* files and fails
 (exit 1) when any candidate value has regressed more than ``--tolerance``
@@ -101,6 +103,35 @@ def extract_metrics(payload: dict) -> dict[str, dict]:
                 evaluation["batched_vs_sequential_speedup"],
                 {"n_test": evaluation.get("n_test"),
                  "sequential_batch_size": evaluation.get("sequential_batch_size")})
+    elif benchmark == "registry_scale":
+        for row in payload.get("results", []):
+            key = f"registry/n={row.get('n')}"
+            registration = row.get("registration") or {}
+            workload = {"batch_size": row.get("batch_size"),
+                        "num_classes": row.get("num_classes"),
+                        "loop_clients": registration.get("loop_clients")}
+            speedup = (row.get("speedup") or {}).get("register_batch")
+            if speedup is not None:
+                # averaged over >= 10^4 registrations per side: stable
+                add(f"{key}/speedup/register_batch", speedup, workload)
+            memory = row.get("memory") or {}
+            # reduction is only recorded when the materialised run covered
+            # the same N (it is capped at smoke scale); tracemalloc peaks
+            # are allocation counts, not timings, so the ratio is stable
+            if memory.get("reduction") is not None:
+                add(f"{key}/memory/reduction", memory["reduction"],
+                    {"batch_size": row.get("batch_size"),
+                     "num_classes": row.get("num_classes"),
+                     "materialized_clients": memory.get("materialized_clients")})
+        secure = payload.get("secure")
+        if secure:
+            # deterministic byte ratio: count packing vs the float default
+            per_client = secure.get("ciphertexts_per_client") or {}
+            if per_client.get("count_packing"):
+                add("registry/secure/packing_ciphertext_ratio",
+                    per_client["default_packing"] / per_client["count_packing"],
+                    {"n_clients": secure.get("n_clients"),
+                     "key_size": secure.get("key_size")})
     return metrics
 
 

@@ -136,7 +136,7 @@ def test_ablation_registry_sparsity_vs_clients(benchmark):
             single = selector.overall_registry[selector.codebook.block_slice(1)]
             pair = selector.overall_registry[selector.codebook.block_slice(2)]
             dominated = single.copy()
-            for j, category in enumerate(selector.codebook._block_combos[2]):
+            for j, category in enumerate(selector.codebook.block_categories(2)):
                 for c in category:
                     dominated[c] += pair[j]
             rows.append({

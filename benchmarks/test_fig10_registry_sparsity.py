@@ -83,7 +83,7 @@ def test_fig10_registry_and_population(benchmark):
     single_block = selector.overall_registry[selector.codebook.block_slice(1)]
     pair_block = selector.overall_registry[selector.codebook.block_slice(2)]
     dominated_by_class = single_block.copy()
-    for j, category in enumerate(selector.codebook._block_combos[2]):
+    for j, category in enumerate(selector.codebook.block_categories(2)):
         for c in category:
             dominated_by_class[c] += pair_block[j]
     rare_classes = np.flatnonzero(dominated_by_class == 0)

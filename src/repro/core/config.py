@@ -17,6 +17,8 @@ import numpy as np
 from ..crypto.paillier import DEFAULT_KEY_SIZE
 
 __all__ = [
+    "AGGREGATION_MODES",
+    "DEFAULT_REGISTRATION_BATCH",
     "DubheConfig",
     "ExecutorConfig",
     "GROUP1_REFERENCE_SET",
@@ -28,6 +30,7 @@ __all__ = [
     "TRANSPORT_KINDS",
     "TransportConfig",
     "partition_cohort",
+    "resolve_aggregation_mode",
     "resolve_num_workers",
     "resolve_run_mode",
     "resolve_runtime_dtype",
@@ -175,6 +178,36 @@ def partition_cohort(num_clients: int, num_workers: int,
     sizes = [base + (1 if s < extra else 0) for s in range(shards)]
     bounds = np.cumsum([0] + sizes)
     return [np.arange(bounds[s], bounds[s + 1]) for s in range(shards)]
+
+
+#: How the secure-aggregation server folds the stream of client ciphertexts.
+#: ``"flat"`` is the original left-to-right accumulator (fold depth N − 1);
+#: ``"tree"`` merges fixed-arity partials so the longest sequential addition
+#: chain is O(log N).  Paillier addition is associative and commutative, so
+#: the two modes produce bit-identical ciphertexts — the tree only changes
+#: *when* additions happen, which is what lets the server parallelise or
+#: bound latency at million-client scale.
+AGGREGATION_MODES: tuple[str, ...] = ("flat", "tree")
+
+#: Default client chunk size for streaming registration.  Peak server memory
+#: is O(batch), never O(N); 4096 keeps the per-batch registry matrices a few
+#: MB while amortising the vectorised Algorithm 1 over enough rows.
+DEFAULT_REGISTRATION_BATCH = 4096
+
+
+def resolve_aggregation_mode(mode: str) -> str:
+    """Validate an aggregation-mode knob against :data:`AGGREGATION_MODES`.
+
+    Example
+    -------
+    >>> resolve_aggregation_mode("tree")
+    'tree'
+    """
+    if mode not in AGGREGATION_MODES:
+        raise ValueError(
+            f"aggregation mode must be one of {AGGREGATION_MODES}, got {mode!r}"
+        )
+    return mode
 
 
 #: How a federated run talks to its clients.  ``"inprocess"`` (default) runs
@@ -382,6 +415,10 @@ class DubheConfig:
         (``H = 1`` reduces to a one-off selection).
     key_size:
         Paillier modulus size in bits for the secure protocol.
+    registration_batch_size:
+        Client chunk size used by streaming registration
+        (:meth:`repro.core.secure.SecureRegistrationRound.run_stream`); peak
+        registration memory is proportional to this, independent of N.
     """
 
     num_classes: int
@@ -391,6 +428,7 @@ class DubheConfig:
     tentative_selections: int = 1
     key_size: int = DEFAULT_KEY_SIZE
     seed: Optional[int] = None
+    registration_batch_size: int = DEFAULT_REGISTRATION_BATCH
 
     def __post_init__(self) -> None:
         if self.num_classes < 2:
@@ -421,6 +459,8 @@ class DubheConfig:
             raise ValueError("tentative_selections must be positive")
         if self.key_size < 16:
             raise ValueError("key_size too small")
+        if self.registration_batch_size < 1:
+            raise ValueError("registration_batch_size must be positive")
 
     # -- helpers -------------------------------------------------------------------
 
@@ -446,4 +486,5 @@ class DubheConfig:
             tentative_selections=self.tentative_selections,
             key_size=self.key_size,
             seed=self.seed,
+            registration_batch_size=self.registration_batch_size,
         )

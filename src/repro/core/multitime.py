@@ -22,7 +22,14 @@ T = TypeVar("T")
 
 @dataclass(frozen=True)
 class TentativeTry:
-    """One tentative draw and its unbiasedness score ``||p_o,h − p_u||₁``."""
+    """One tentative draw and its unbiasedness score ``||p_o,h − p_u||₁``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> TentativeTry(0, (1, 2), 0.5, np.array([0.75, 0.25])).score
+    0.5
+    """
 
     index: int
     candidate: tuple
@@ -32,17 +39,27 @@ class TentativeTry:
 
 @dataclass(frozen=True)
 class MultiTimeResult:
-    """Outcome of an H-time selection."""
+    """Outcome of an H-time selection.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> t = TentativeTry(0, (1,), 0.5, np.array([0.75, 0.25]))
+    >>> MultiTimeResult(t, (t,)).best_score
+    0.5
+    """
 
     best: TentativeTry
     tries: tuple[TentativeTry, ...]
 
     @property
     def best_score(self) -> float:
+        """Score of the winning tentative try."""
         return self.best.score
 
     @property
     def scores(self) -> np.ndarray:
+        """All H scores in try order."""
         return np.array([t.score for t in self.tries])
 
     @property
@@ -64,7 +81,9 @@ def multi_time_selection(
     ----------
     draw:
         ``draw(h)`` produces the candidate participant set of tentative try
-        ``h`` (client indices).
+        ``h`` (client indices — any integer sequence, including NumPy index
+        arrays; candidates are normalised to tuples of Python ints so
+        downstream consumers can serialise them).
     population_of:
         Maps a candidate set to its population distribution ``p_o``.
     uniform:
@@ -77,11 +96,21 @@ def multi_time_selection(
         given (and the non-empty draws share one size), all H tries are
         scored with one vectorised pass instead of H Python calls; row ``h``
         must equal ``population_of(candidates[h])``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> dists = np.array([[1.0, 0.0], [0.0, 1.0]])
+    >>> result = multi_time_selection(
+    ...     draw=lambda h: [h], population_of=lambda c: dists[list(c)].mean(axis=0),
+    ...     uniform=np.array([0.5, 0.5]), tries=2)
+    >>> result.best.candidate in {(0,), (1,)}
+    True
     """
     if tries < 1:
         raise ValueError("tries must be positive")
     uniform = np.asarray(uniform, dtype=float)
-    candidates = [tuple(draw(h)) for h in range(tries)]
+    candidates = [tuple(int(c) for c in draw(h)) for h in range(tries)]
     populations: list[Optional[np.ndarray]] = [None] * tries
     scores = np.empty(tries)
     non_empty = [h for h, c in enumerate(candidates) if c]

@@ -12,25 +12,105 @@ smallest ``i ∈ G``, check whether the client's ``i``-th largest class
 proportion reaches the threshold ``σ_i``; the first block that matches wins,
 and the final block ``i = C`` (``σ_C = 0``) always matches, meaning "no
 dominating classes / locally balanced".
+
+Scale notes (million-client registries)
+---------------------------------------
+The codebook is **lazy** by default: a category's flat slot index is computed
+by combinatorial (lexicographic) ranking — :func:`combination_rank` /
+:func:`combination_from_rank` — instead of materialising all ``C(C, i)``
+combinations in lookup tables, so a wide-``C`` block (say ``C(52, 26)``
+slots) costs nothing to address.  ``materialize=True`` restores the eager
+tables; the two construction modes are asserted index-identical by the
+property suite.  :meth:`RegistryCodebook.register_batch` runs Algorithm 1
+for N clients as a handful of array operations (no per-client Python work)
+and returns a compact :class:`BatchRegistration` — two int64 arrays — rather
+than N one-hot vectors, which is what lets registration stream to
+N = 1,000,000 with O(batch) peak memory (see ``docs/scaling.md``).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from itertools import combinations
 from math import comb
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from .config import DubheConfig
 
-__all__ = ["ClientCategory", "RegistryCodebook", "RegistrationResult"]
+__all__ = [
+    "BatchRegistration",
+    "ClientCategory",
+    "RegistryCodebook",
+    "RegistrationResult",
+    "combination_rank",
+    "combination_from_rank",
+]
+
+#: Codebooks whose length fits comfortably in int64 rank with vectorised
+#: Pascal-table lookups; anything larger falls back to exact Python ints.
+_INT64_SAFE_LENGTH = 1 << 62
+
+
+def combination_rank(classes: Sequence[int], num_classes: int) -> int:
+    """Lexicographic rank of a sorted combination among ``C(C, k)`` peers.
+
+    The rank is computed arithmetically (no table of combinations), which is
+    what makes wide blocks addressable: ranking ``k`` classes costs ``O(k)``
+    binomial evaluations regardless of how many ``C(C, k)`` combinations the
+    block holds.
+
+    Example
+    -------
+    >>> combination_rank((1, 2), 4)  # combos of 4 choose 2: (0,1) (0,2) (0,3) (1,2) ...
+    3
+    >>> [combination_rank(c, 4) for c in [(0, 1), (0, 2), (0, 3), (1, 2)]]
+    [0, 1, 2, 3]
+    """
+    k = len(classes)
+    rank = comb(num_classes, k) - 1
+    for j, c in enumerate(classes):
+        rank -= comb(num_classes - 1 - int(c), k - j)
+    return rank
+
+
+def combination_from_rank(rank: int, num_classes: int, size: int) -> tuple[int, ...]:
+    """Inverse of :func:`combination_rank`: the combination at a given rank.
+
+    Example
+    -------
+    >>> combination_from_rank(3, 4, 2)
+    (1, 2)
+    >>> combination_from_rank(combination_rank((2, 5, 7), 9), 9, 3)
+    (2, 5, 7)
+    """
+    total = comb(num_classes, size)
+    if not 0 <= rank < total:
+        raise IndexError(f"rank {rank} outside [0, {total}) for C({num_classes}, {size})")
+    classes = []
+    remaining = total - 1 - rank  # combinations strictly after the target
+    c = 0
+    for j in range(size):
+        # advance c until the suffix count drops to the remaining budget
+        while comb(num_classes - 1 - c, size - j) > remaining:
+            c += 1
+        remaining -= comb(num_classes - 1 - c, size - j)
+        classes.append(c)
+        c += 1
+    return tuple(classes)
 
 
 @dataclass(frozen=True)
 class ClientCategory:
-    """A client's category ``u``: its dominating classes (sorted ascending)."""
+    """A client's category ``u``: its dominating classes (sorted ascending).
+
+    Example
+    -------
+    >>> ClientCategory((0, 3)).size
+    2
+    """
 
     classes: tuple[int, ...]
 
@@ -42,6 +122,7 @@ class ClientCategory:
 
     @property
     def size(self) -> int:
+        """Number of dominating classes (the block ``i`` the category lives in)."""
         return len(self.classes)
 
     def __iter__(self):
@@ -50,7 +131,14 @@ class ClientCategory:
 
 @dataclass(frozen=True)
 class RegistrationResult:
-    """Output of Algorithm 1 for one client."""
+    """Output of Algorithm 1 for one client.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> RegistrationResult(np.array([0.0, 1.0]), ClientCategory((1,)), 1, 1).index
+    1
+    """
 
     registry: np.ndarray          # the one-hot registry vector R^(t,k)
     category: ClientCategory      # the client category u^(t,k)
@@ -58,36 +146,106 @@ class RegistrationResult:
     index: int                    # flat index of the flipped slot
 
 
-class RegistryCodebook:
-    """Maps between client categories and registry vector positions."""
+@dataclass(frozen=True)
+class BatchRegistration:
+    """Algorithm 1 output for N clients as two compact int64 arrays.
 
-    def __init__(self, config: DubheConfig):
+    The scaled counterpart of a ``list[RegistrationResult]``: 16 bytes per
+    client instead of a one-hot float vector per client, so a million-client
+    registration fits in ~16 MB.  Row ``k`` of the batch registered block
+    ``blocks[k]`` at flat slot ``indices[k]``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> batch = BatchRegistration(np.array([1, 10]), np.array([3, 55]), 56)
+    >>> len(batch), int(batch.overall_registry().sum())
+    (2, 2)
+    """
+
+    blocks: np.ndarray    # (N,) int64 — the i ∈ G each client fell into
+    indices: np.ndarray   # (N,) int64 — flat slot index per client
+    length: int           # codebook length the indices address
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+    def overall_registry(self) -> np.ndarray:
+        """The dense overall registry ``R_A = Σ_k R^(t,k)`` via one bincount.
+
+        Materialises a length-``length`` float vector — suitable for the
+        paper's reference sets (tens of slots); for astronomically wide lazy
+        codebooks use :meth:`slot_counts` instead.
+        """
+        return np.bincount(self.indices, minlength=self.length).astype(float)
+
+    def slot_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sparse aggregate: ``(occupied slot indices, client counts)``.
+
+        Never allocates the dense registry, so it stays O(distinct
+        categories) even when the codebook length does not fit in memory.
+        """
+        unique, counts = np.unique(self.indices, return_counts=True)
+        return unique, counts.astype(float)
+
+
+class RegistryCodebook:
+    """Maps between client categories and registry vector positions.
+
+    Lazy by default: slot indices come from combinatorial ranking and no
+    per-combination table is built.  ``materialize=True`` builds the eager
+    combination tables of the original implementation — kept as the
+    reference the property suite checks the lazy arithmetic against (and as
+    a micro-optimisation for tiny codebooks that are addressed millions of
+    times).
+
+    Example
+    -------
+    >>> config = DubheConfig(num_classes=10, reference_set=(1, 2, 10),
+    ...                      thresholds={1: 0.7, 2: 0.1, 10: 0.0})
+    >>> RegistryCodebook(config).length
+    56
+    """
+
+    def __init__(self, config: DubheConfig, materialize: bool = False):
         if not config.has_all_thresholds():
             raise ValueError("all thresholds must be set before building the codebook")
         self.config = config
         self.num_classes = config.num_classes
         self.reference_set = config.reference_set
-        # per-block combination tables (ascending class tuples, lexicographic)
+        # per-block offsets (Python ints: exact for arbitrarily wide blocks)
         self._block_offset: dict[int, int] = {}
-        self._block_combos: dict[int, list[tuple[int, ...]]] = {}
-        self._combo_to_index: dict[tuple[int, ...], int] = {}
+        self._block_sizes: dict[int, int] = {}
         offset = 0
         for i in self.reference_set:
-            combos = list(combinations(range(self.num_classes), i))
             self._block_offset[i] = offset
-            self._block_combos[i] = combos
-            for j, combo in enumerate(combos):
-                self._combo_to_index[combo] = offset + j
-            offset += len(combos)
+            self._block_sizes[i] = comb(self.num_classes, i)
+            offset += self._block_sizes[i]
         self.length = offset
+        # sorted (start, i) pairs for category_of's block search
+        self._offset_order = sorted(
+            (start, i) for i, start in self._block_offset.items()
+        )
+        self._combo_to_index: dict[tuple[int, ...], int] | None = None
+        if materialize:
+            self._combo_to_index = {}
+            for i in self.reference_set:
+                start = self._block_offset[i]
+                for j, combo in enumerate(combinations(range(self.num_classes), i)):
+                    self._combo_to_index[combo] = start + j
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the eager per-combination tables were built."""
+        return self._combo_to_index is not None
 
     # -- codebook geometry -------------------------------------------------------
 
     def block_length(self, i: int) -> int:
         """Number of slots in block ``i`` (the combination count ``C(C, i)``)."""
-        if i not in self._block_combos:
+        if i not in self._block_sizes:
             raise KeyError(f"{i} is not in the reference set")
-        return comb(self.num_classes, i)
+        return self._block_sizes[i]
 
     def block_slice(self, i: int) -> slice:
         """The slice of the flat registry covered by block ``i``."""
@@ -96,23 +254,41 @@ class RegistryCodebook:
         start = self._block_offset[i]
         return slice(start, start + self.block_length(i))
 
+    def block_categories(self, i: int) -> Iterator[tuple[int, ...]]:
+        """Iterate block ``i``'s categories in slot order without materialising.
+
+        Slot ``block_slice(i).start + j`` belongs to the ``j``-th tuple
+        yielded (lexicographic order — the order combinatorial ranking
+        addresses).
+        """
+        if i not in self._block_offset:
+            raise KeyError(f"{i} is not in the reference set")
+        return combinations(range(self.num_classes), i)
+
     def index_of(self, category: ClientCategory | Sequence[int]) -> int:
         """Flat registry index of a category."""
         classes = tuple(category.classes if isinstance(category, ClientCategory) else
                         sorted(category))
-        if classes not in self._combo_to_index:
+        if self._combo_to_index is not None:
+            if classes not in self._combo_to_index:
+                raise KeyError(f"category {classes} is not representable by this codebook")
+            return self._combo_to_index[classes]
+        size = len(classes)
+        if (size not in self._block_offset
+                or len(set(classes)) != size
+                or any(not 0 <= int(c) < self.num_classes for c in classes)):
             raise KeyError(f"category {classes} is not representable by this codebook")
-        return self._combo_to_index[classes]
+        return self._block_offset[size] + combination_rank(classes, self.num_classes)
 
     def category_of(self, index: int) -> ClientCategory:
         """Inverse of :meth:`index_of`."""
         if not 0 <= index < self.length:
             raise IndexError("registry index out of range")
-        for i in self.reference_set:
-            block = self.block_slice(i)
-            if block.start <= index < block.stop:
-                return ClientCategory(self._block_combos[i][index - block.start])
-        raise IndexError("registry index out of range")  # pragma: no cover - unreachable
+        starts = [start for start, _ in self._offset_order]
+        position = bisect_right(starts, int(index)) - 1
+        start, i = self._offset_order[position]
+        return ClientCategory(combination_from_rank(int(index) - start,
+                                                    self.num_classes, i))
 
     def empty_registry(self) -> np.ndarray:
         """An all-zero registry vector of the right length."""
@@ -152,6 +328,92 @@ class RegistryCodebook:
                 registry[index] = 1.0
                 return RegistrationResult(registry, category, block=i, index=index)
         raise RuntimeError("Algorithm 1 failed to register the client")  # pragma: no cover
+
+    def register_batch(self, distributions: np.ndarray) -> BatchRegistration:
+        """Run Algorithm 1 for every row of ``distributions`` vectorised.
+
+        One stable argsort plus a handful of gathers replace the per-client
+        Python loop; ties are broken by ascending class id exactly as
+        :meth:`register` does, and the property suite asserts per-row
+        equality between the two paths.  Returns a :class:`BatchRegistration`
+        (flat indices, no one-hot vectors), so peak memory is O(N) int64
+        rather than O(N·L) float.
+        """
+        p = np.ascontiguousarray(distributions, dtype=np.float64)
+        if p.ndim != 2 or p.shape[1] != self.num_classes:
+            raise ValueError(
+                f"distributions must have shape (N, {self.num_classes}), got {p.shape}"
+            )
+        if p.shape[0] == 0:
+            raise ValueError("distributions is empty")
+        if np.any(p < 0) or not np.allclose(p.sum(axis=1), 1.0, atol=1e-6):
+            raise ValueError("every row must be a probability vector")
+        n = p.shape[0]
+        # stable argsort of -p == lexsort((arange, -p)): ties keep class order
+        order = np.argsort(-p, axis=1, kind="stable")
+        rows = np.arange(n)
+        blocks = np.full(n, self.num_classes, dtype=np.int64)
+        undecided = np.ones(n, dtype=bool)
+        for i in self.reference_set:
+            if i == self.num_classes:
+                break  # σ_C = 0: whoever is left lands in the C block
+            sigma = self.config.threshold_for(i)
+            m_i = p[rows, order[:, i - 1]]
+            matched = undecided & (m_i >= sigma)
+            blocks[matched] = i
+            undecided &= ~matched
+        indices = np.empty(n, dtype=np.int64)
+        for i in self.reference_set:
+            members = np.flatnonzero(blocks == i)
+            if members.size == 0:
+                continue
+            start = self._block_offset[i]
+            if i == self.num_classes:
+                indices[members] = start  # the single "no dominating class" slot
+                continue
+            top = np.sort(order[members, :i], axis=1)
+            indices[members] = start + self._rank_rows(top, i)
+        return BatchRegistration(blocks=blocks, indices=indices, length=self.length)
+
+    def _rank_rows(self, top: np.ndarray, size: int) -> np.ndarray:
+        """Vectorised :func:`combination_rank` over the rows of ``top``."""
+        if self.length < _INT64_SAFE_LENGTH:
+            table = self._comb_table()
+            j = np.arange(size)
+            suffix = table[self.num_classes - 1 - top, size - j]
+            return table[self.num_classes, size] - 1 - suffix.sum(axis=1)
+        # exact-integer fallback for codebooks wider than int64 ranks
+        return np.array([combination_rank(row, self.num_classes) for row in top],
+                        dtype=object)
+
+    def _comb_table(self) -> np.ndarray:
+        """Cached Pascal triangle ``table[n, k] = C(n, k)`` as int64."""
+        table = getattr(self, "_comb_table_cache", None)
+        if table is None:
+            c = self.num_classes
+            k_max = max(self.reference_set)
+            table = np.zeros((c + 1, k_max + 1), dtype=np.int64)
+            for n in range(c + 1):
+                for k in range(min(n, k_max) + 1):
+                    table[n, k] = comb(n, k)
+            self._comb_table_cache = table
+        return table
+
+    def materialize_results(self, batch: BatchRegistration) -> list[RegistrationResult]:
+        """Expand a :class:`BatchRegistration` into per-client results.
+
+        The compatibility bridge for code that wants the original
+        ``list[RegistrationResult]`` (one-hot vectors included); costs
+        O(N·L) memory, so call it only at paper scale.
+        """
+        results = []
+        for block, index in zip(batch.blocks, batch.indices):
+            registry = self.empty_registry()
+            registry[index] = 1.0
+            results.append(RegistrationResult(
+                registry, self.category_of(int(index)), block=int(block),
+                index=int(index)))
+        return results
 
     def register_many(self, distributions: Sequence[np.ndarray] | np.ndarray,
                       ) -> list[RegistrationResult]:

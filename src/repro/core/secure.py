@@ -13,24 +13,39 @@ Roles, matching Figure 3/4 of the paper:
 The protocol classes below also meter every byte and message they move so
 the §6.4 overhead study reads its numbers from the same code path the
 selection uses.
+
+Million-client scale
+--------------------
+Two orthogonal knobs push the round to large N (see ``docs/scaling.md``):
+
+* ``aggregation="tree"`` folds received ciphertexts through a fixed-arity
+  merge tree (:class:`~repro.crypto.packing.StreamingTreeAggregator`), so the
+  longest chain of dependent Paillier additions is O(log N) instead of
+  N − 1 — bit-identical ciphertexts, since Paillier addition is associative
+  and commutative;
+* :meth:`SecureRegistrationRound.run_stream` consumes client distributions
+  in chunks, registering / encrypting / folding one batch at a time and
+  discarding each batch's registries before the next, so peak memory is
+  O(batch), never O(N).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
 from ..crypto.batch import AnyEncryptedVector, BatchCryptoExecutor, encrypt_one
 from ..crypto.encoding import DEFAULT_BASE, DEFAULT_PRECISION
 from ..crypto.keyagent import KeyAgent
-from ..crypto.packing import DEFAULT_MAX_WEIGHT, PackingScheme
+from ..crypto.packing import (DEFAULT_MAX_WEIGHT, PackingScheme,
+                              StreamingTreeAggregator)
 from ..crypto.paillier import NoisePool, PaillierPublicKey
 from ..crypto.vector import plaintext_vector_bytes
-from .config import DubheConfig
-from .registry import RegistrationResult, RegistryCodebook
+from .config import DubheConfig, resolve_aggregation_mode
+from .registry import BatchRegistration, RegistrationResult, RegistryCodebook
 
 __all__ = [
     "ProtocolStats",
@@ -38,12 +53,22 @@ __all__ = [
     "SecureClient",
     "SecureRegistrationRound",
     "SecureDistributionAggregation",
+    "StreamedRegistration",
+    "iter_distribution_batches",
 ]
 
 
 @dataclass
 class ProtocolStats:
-    """Bytes, messages and wall-time spent by one protocol execution."""
+    """Bytes, messages and wall-time spent by one protocol execution.
+
+    Example
+    -------
+    >>> a = ProtocolStats(messages=2, plaintext_bytes=10, ciphertext_bytes=40)
+    >>> b = a.merged_with(ProtocolStats(messages=1))
+    >>> (b.messages, b.expansion_factor)
+    (3, 4.0)
+    """
 
     messages: int = 0
     plaintext_bytes: int = 0
@@ -55,6 +80,7 @@ class ProtocolStats:
     noise_precompute_seconds: float = 0.0
 
     def merged_with(self, other: "ProtocolStats") -> "ProtocolStats":
+        """A new :class:`ProtocolStats` holding the field-wise sums."""
         return ProtocolStats(
             messages=self.messages + other.messages,
             plaintext_bytes=self.plaintext_bytes + other.plaintext_bytes,
@@ -79,13 +105,35 @@ class SecureAggregationServer:
     The class deliberately has no attribute that could hold a private key and
     no decryption method — tests assert this structural property.
 
-    Aggregation is *streaming*: each received vector is folded into a single
-    running homomorphic sum, so server memory is O(1) in the number of
-    clients (one ciphertext vector) rather than O(N).
+    Aggregation is *streaming* in both modes, so server memory never grows
+    with N: ``aggregation="flat"`` (default) folds each arrival into one
+    running sum (O(1) state, fold depth N − 1); ``aggregation="tree"`` keeps
+    O(log N) partial sums in a :class:`~repro.crypto.packing.StreamingTreeAggregator`
+    so the longest chain of dependent additions — :attr:`fold_depth` — is
+    O(log N).  The two modes produce bit-identical ciphertexts (Paillier
+    addition is associative and commutative); the tree only matters for
+    latency and pipelining at million-client scale.
+
+    Example
+    -------
+    >>> from repro.crypto.paillier import generate_keypair
+    >>> from repro.crypto.vector import EncryptedVector
+    >>> pk = generate_keypair(key_size=64).public_key
+    >>> server = SecureAggregationServer(pk, aggregation="tree")
+    >>> server.receive(EncryptedVector.encrypt(pk, [1.0, 0.0]))
+    >>> server.receive(EncryptedVector.encrypt(pk, [0.0, 1.0]))
+    >>> (server.received_count, server.fold_depth)
+    (2, 1)
     """
 
-    def __init__(self, public_key: PaillierPublicKey):
+    def __init__(self, public_key: PaillierPublicKey, aggregation: str = "flat",
+                 arity: int = 2):
         self.public_key = public_key
+        self.aggregation = resolve_aggregation_mode(aggregation)
+        self._tree: Optional[StreamingTreeAggregator] = (
+            StreamingTreeAggregator(arity=arity) if self.aggregation == "tree"
+            else None
+        )
         self._aggregate: Optional[AnyEncryptedVector] = None
         self._count = 0
         self.stats = ProtocolStats()
@@ -94,7 +142,9 @@ class SecureAggregationServer:
         """Accept one client's encrypted vector and fold it into the sum."""
         if ciphertext.public_key != self.public_key:
             raise ValueError("ciphertext was produced under a different round key")
-        if self._aggregate is None:
+        if self._tree is not None:
+            self._tree.push(ciphertext)
+        elif self._aggregate is None:
             # copy so in-place accumulation never mutates the sender's object
             self._aggregate = ciphertext.copy()
         else:
@@ -109,15 +159,32 @@ class SecureAggregationServer:
         Returns a copy, so callers can keep (or mutate) the result while the
         server continues to fold in late arrivals.
         """
-        if self._aggregate is None:
+        if self._count == 0:
             raise ValueError("no ciphertexts received")
+        if self._tree is not None:
+            return self._tree.combined()
         return self._aggregate.copy()
 
     @property
+    def fold_depth(self) -> int:
+        """Longest chain of dependent additions behind :meth:`aggregate`.
+
+        ``N − 1`` for the flat fold, O(log N) for the tree — the scale suite
+        asserts both.
+        """
+        if self._tree is not None:
+            return self._tree.depth
+        return max(0, self._count - 1)
+
+    @property
     def received_count(self) -> int:
+        """How many client ciphertexts have been folded in."""
         return self._count
 
     def reset(self) -> None:
+        """Drop the running aggregate and start a fresh round."""
+        if self._tree is not None:
+            self._tree.reset()
         self._aggregate = None
         self._count = 0
 
@@ -136,6 +203,16 @@ class SecureClient:
         the packed ciphertext.  Required when *packed*.
     noise:
         Optional :class:`NoisePool` of precomputed ``r^n mod n²`` terms.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.crypto.paillier import generate_keypair
+    >>> pk = generate_keypair(key_size=64).public_key
+    >>> client = SecureClient(0, np.array([0.8, 0.2]))
+    >>> ciphertext = client.encrypted_distribution(pk)
+    >>> client.stats.messages
+    1
     """
 
     def __init__(self, client_id: int, distribution: np.ndarray,
@@ -222,6 +299,61 @@ def _encrypt_and_deliver(public_key: PaillierPublicKey,
         server.receive(ciphertext)
 
 
+@dataclass(frozen=True)
+class StreamedRegistration:
+    """Everything a streaming registration round produces.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.registry import BatchRegistration
+    >>> batch = BatchRegistration(np.array([1]), np.array([0]), 3)
+    >>> s = StreamedRegistration(np.array([1.0, 0.0, 0.0]), batch,
+    ...                          ProtocolStats(), 0, 1)
+    >>> s.n_clients
+    1
+    """
+
+    #: The decrypted overall registry ``R_A`` — bit-identical to ``run()``'s.
+    overall: np.ndarray
+    #: Per-client blocks/indices as compact int64 arrays (16 bytes/client).
+    registration: BatchRegistration
+    #: Aggregate overhead of every role, same accounting as ``run()``.
+    stats: ProtocolStats
+    #: Longest chain of dependent ciphertext additions performed.
+    fold_depth: int
+    #: How many client chunks the stream was consumed in.
+    num_batches: int
+
+    @property
+    def n_clients(self) -> int:
+        """Total number of clients registered across all batches."""
+        return len(self.registration)
+
+
+def iter_distribution_batches(distributions: np.ndarray,
+                              batch_size: int) -> Iterator[np.ndarray]:
+    """Yield contiguous row chunks of a 2-D distribution array.
+
+    The canonical way to feed an in-memory population to
+    :meth:`SecureRegistrationRound.run_stream`; real deployments would yield
+    chunks as cohorts arrive over the transport instead.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> [len(b) for b in iter_distribution_batches(np.zeros((5, 2)), 2)]
+    [2, 2, 1]
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    distributions = np.asarray(distributions)
+    if distributions.ndim != 2:
+        raise ValueError("distributions must be 2-D")
+    for start in range(0, distributions.shape[0], batch_size):
+        yield distributions[start:start + batch_size]
+
+
 @dataclass
 class SecureRegistrationRound:
     """One full registration round: keygen → encrypt → aggregate → decrypt.
@@ -244,6 +376,24 @@ class SecureRegistrationRound:
     precompute_noise:
         Pre-generate every ``r^n mod n²`` term in a :class:`NoisePool`
         before the timed encryption phase (amortised/offline noise).
+    aggregation, arity:
+        Server fold strategy (:data:`repro.core.config.AGGREGATION_MODES`):
+        ``"flat"`` is the original running sum, ``"tree"`` bounds the fold
+        depth to O(log N) with *arity*-way merges — bit-identical results.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.config import DubheConfig
+    >>> config = DubheConfig(num_classes=2, reference_set=(1, 2),
+    ...                      thresholds={1: 0.6, 2: 0.0}, key_size=64)
+    >>> rng = np.random.default_rng(0)
+    >>> population = rng.dirichlet((1.0, 1.0), size=8)
+    >>> overall, registrations, stats = SecureRegistrationRound(config).run(
+    ...     population)
+    >>> streamed = SecureRegistrationRound(config).run_stream(population)
+    >>> bool((streamed.overall == overall).all())
+    True
     """
 
     config: DubheConfig
@@ -252,7 +402,14 @@ class SecureRegistrationRound:
     executor_mode: str = "sequential"
     max_workers: Optional[int] = None
     precompute_noise: bool = False
+    aggregation: str = "flat"
+    arity: int = 2
     _stats: ProtocolStats = field(default_factory=ProtocolStats)
+
+    def __post_init__(self) -> None:
+        resolve_aggregation_mode(self.aggregation)
+        if self.arity < 2:
+            raise ValueError("tree arity must be at least 2")
 
     def run(self, client_distributions: Sequence[np.ndarray] | np.ndarray,
             ) -> tuple[np.ndarray, list[RegistrationResult], ProtocolStats]:
@@ -270,7 +427,9 @@ class SecureRegistrationRound:
         agent.dispatch_private_key(n_clients)
 
         clients = [SecureClient(k, distributions[k]) for k in range(n_clients)]
-        server = SecureAggregationServer(keypair.public_key)
+        server = SecureAggregationServer(keypair.public_key,
+                                         aggregation=self.aggregation,
+                                         arity=self.arity)
         registrations = [client.register(codebook) for client in clients]
         registries = [registration.registry for registration in registrations]
 
@@ -308,6 +467,131 @@ class SecureRegistrationRound:
         self._stats = stats
         return overall, registrations, stats
 
+    def run_stream(self,
+                   batches: np.ndarray | Iterable[np.ndarray],
+                   total_clients: Optional[int] = None) -> StreamedRegistration:
+        """Execute the protocol over a *stream* of distribution chunks.
+
+        The scaled counterpart of :meth:`run`: each chunk is registered
+        (vectorised Algorithm 1), encrypted and folded into the server's
+        aggregate, then discarded — peak memory is O(batch · codebook length)
+        plus 16 bytes per client for the returned index arrays, never
+        O(N · codebook length).  The decrypted overall registry is
+        bit-identical to :meth:`run`'s on the same clients (asserted by the
+        streaming equivalence suite), and the packed path uses the integer
+        count-packing scheme (:meth:`~repro.crypto.packing.PackingScheme.for_counts`),
+        which needs ~2.3× fewer ciphertexts per registry than the float
+        default.
+
+        Parameters
+        ----------
+        batches:
+            Either a 2-D ``(N, C)`` array — chunked internally by
+            ``config.registration_batch_size`` — or an iterable of 2-D
+            chunks (e.g. cohorts arriving over the transport).
+        total_clients:
+            Upper bound on the stream length.  Required for the packed path
+            when *batches* is an iterable: it fixes the packing headroom
+            (``max_weight``) before the first ciphertext is built.  The
+            stream overrunning it is an error.
+        """
+        codebook = RegistryCodebook(self.config)
+        if isinstance(batches, np.ndarray):
+            if batches.ndim != 2:
+                raise ValueError("client_distributions must be 2-D")
+            if total_clients is None:
+                total_clients = int(batches.shape[0])
+            batches = iter_distribution_batches(
+                batches, self.config.registration_batch_size)
+        if total_clients is not None and total_clients < 1:
+            raise ValueError("total_clients must be positive")
+        if self.packed and total_clients is None:
+            raise ValueError(
+                "total_clients is required for packed streaming: it fixes the "
+                "packing headroom (max_weight) before the first batch"
+            )
+        agent = self.agent or KeyAgent(key_size=self.config.key_size)
+        keypair = agent.new_round()
+        server = SecureAggregationServer(keypair.public_key,
+                                         aggregation=self.aggregation,
+                                         arity=self.arity)
+        executor = BatchCryptoExecutor(self.executor_mode, self.max_workers)
+        scheme = (PackingScheme.for_counts(keypair.public_key, codebook.length,
+                                           max_weight=total_clients)
+                  if self.packed else None)
+        noise = NoisePool(keypair.public_key) if self.precompute_noise else None
+        stats = ProtocolStats()
+        blocks_parts: list[np.ndarray] = []
+        index_parts: list[np.ndarray] = []
+        n_seen = 0
+        num_batches = 0
+        for chunk in batches:
+            arr = np.ascontiguousarray(chunk, dtype=np.float64)
+            if arr.ndim != 2 or arr.shape[1] != self.config.num_classes:
+                raise ValueError(
+                    f"every batch must have shape (b, {self.config.num_classes}),"
+                    f" got {arr.shape}"
+                )
+            if arr.shape[0] == 0:
+                continue
+            n_seen += arr.shape[0]
+            if total_clients is not None and n_seen > total_clients:
+                raise ValueError(
+                    f"stream delivered more than total_clients={total_clients} "
+                    "distributions"
+                )
+            num_batches += 1
+            reg = codebook.register_batch(arr)
+            blocks_parts.append(reg.blocks)
+            index_parts.append(reg.indices)
+            b = arr.shape[0]
+            # this batch's one-hot registries; freed before the next batch
+            registries = np.zeros((b, codebook.length))
+            registries[np.arange(b), reg.indices] = 1.0
+            if noise is not None:
+                start = perf_counter()
+                terms = (scheme.num_ciphertexts * b if scheme is not None
+                         else codebook.length * b)
+                noise.refill(terms)
+                stats.noise_precompute_seconds += perf_counter() - start
+            start = perf_counter()
+            encrypted = executor.encrypt_many(
+                keypair.public_key, registries, packed=self.packed,
+                max_weight=(total_clients if total_clients is not None
+                            else DEFAULT_MAX_WEIGHT),
+                base=(2 if self.packed else DEFAULT_BASE),
+                precision=(0 if self.packed else DEFAULT_PRECISION),
+                noise=noise)
+            stats.encrypt_seconds += perf_counter() - start
+            for values, ciphertext in zip(registries, encrypted):
+                # client-side accounting, mirroring record_transmission
+                stats.messages += 1
+                stats.plaintext_bytes += plaintext_vector_bytes(values)
+                stats.ciphertext_bytes += ciphertext.nbytes()
+                server.receive(ciphertext)
+        if n_seen == 0:
+            raise ValueError("stream contained no client distributions")
+        agent.dispatch_public_key(n_seen)
+        agent.dispatch_private_key(n_seen)
+        encrypted_total = server.aggregate()
+        fold_depth = server.fold_depth
+        start = perf_counter()
+        overall = encrypted_total.decrypt(keypair.private_key)
+        stats.decrypt_seconds += perf_counter() - start
+        stats = stats.merged_with(server.stats)
+        # synchronising the aggregate back to N clients is N more messages
+        stats.messages += n_seen
+        stats.ciphertext_bytes += encrypted_total.nbytes() * n_seen
+        self._stats = stats
+        registration = BatchRegistration(
+            blocks=np.concatenate(blocks_parts),
+            indices=np.concatenate(index_parts),
+            length=codebook.length,
+        )
+        return StreamedRegistration(overall=overall, registration=registration,
+                                    stats=stats, fold_depth=fold_depth,
+                                    num_batches=num_batches)
+
 
 class SecureDistributionAggregation:
     """The multi-time-selection data path: encrypted ``p_l`` aggregation.
@@ -316,6 +600,17 @@ class SecureDistributionAggregation:
     distributions; the server sums the ciphertexts; the agent decrypts the
     aggregate and scores ``||p_o − p_u||₁``.  Population distributions of
     individual clients are never visible to the server.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.config import DubheConfig
+    >>> config = DubheConfig(num_classes=2, reference_set=(1, 2),
+    ...                      thresholds={1: 0.6, 2: 0.0}, key_size=64)
+    >>> aggregation = SecureDistributionAggregation(config)
+    >>> distributions = np.array([[0.9, 0.1], [0.1, 0.9]])
+    >>> round(aggregation.score_selection(distributions, [0, 1]), 6)
+    0.0
     """
 
     def __init__(self, config: DubheConfig, agent: Optional[KeyAgent] = None,

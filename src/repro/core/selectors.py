@@ -16,6 +16,14 @@
 
 All selectors implement ``select(round_index) -> list[int]`` so they plug
 into :class:`repro.federated.FederatedSimulation` interchangeably.
+
+Every per-client step is array-at-a-time: registration runs through
+:meth:`RegistryCodebook.register_batch`, probabilities through the
+vectorised eq. (6), tentative draws through boolean masks, and greedy
+scoring through pre-allocated ``(N, C)`` buffers — so a million-client
+selector holds a handful of contiguous float64/int64 arrays and performs no
+per-client Python loops (asserted bit-identical to the reference
+implementations by the scale-equivalence suite).
 """
 
 from __future__ import annotations
@@ -28,19 +36,27 @@ from ..data.distributions import kl_divergence, uniform_distribution
 from .config import DubheConfig
 from .multitime import MultiTimeResult, multi_time_selection
 from .probability import bernoulli_participation, participation_probabilities
-from .registry import RegistryCodebook
+from .registry import BatchRegistration, RegistrationResult, RegistryCodebook
 
 __all__ = ["ClientSelector", "RandomSelector", "GreedySelector", "DubheSelector"]
 
 
 class ClientSelector:
-    """Common interface and bookkeeping of all selection strategies."""
+    """Common interface and bookkeeping of all selection strategies.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> s = ClientSelector(np.array([[0.5, 0.5], [1.0, 0.0]]), 1, seed=0)
+    >>> s.bias_of([0])
+    0.0
+    """
 
     name = "base"
 
     def __init__(self, client_distributions: np.ndarray, participants_per_round: int,
                  seed: Optional[int] = None):
-        distributions = np.asarray(client_distributions, dtype=float)
+        distributions = np.ascontiguousarray(client_distributions, dtype=np.float64)
         if distributions.ndim != 2:
             raise ValueError("client_distributions must be 2-D (clients x classes)")
         if distributions.shape[0] < 1:
@@ -81,15 +97,25 @@ class ClientSelector:
         return np.stack([self.population_of(c) for c in candidates])
 
     def select(self, round_index: int) -> list[int]:
+        """Pick the round's participant set (subclasses implement this)."""
         raise NotImplementedError
 
 
 class RandomSelector(ClientSelector):
-    """Uniformly random selection of ``K`` clients (the FL default)."""
+    """Uniformly random selection of ``K`` clients (the FL default).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> s = RandomSelector(np.full((4, 2), 0.5), 2, seed=0)
+    >>> sorted(set(s.select(0)) - set(range(4)))
+    []
+    """
 
     name = "random"
 
     def select(self, round_index: int) -> list[int]:
+        """``K`` clients uniformly at random, without replacement."""
         chosen = self.rng.choice(self.n_clients, size=self.participants_per_round, replace=False)
         return [int(c) for c in chosen]
 
@@ -106,12 +132,24 @@ class GreedySelector(ClientSelector):
     *all* N candidates with one vectorised ``argmin``: already-selected
     clients are masked to ``+inf`` instead of being re-gathered through a
     shrinking index array, so a step performs no per-candidate Python calls
-    and no fancy-index copies of the distribution matrix.
+    and no fancy-index copies of the distribution matrix.  The ``(N, C)``
+    scratch buffers are allocated once per ``select`` call and reused by
+    every pick (``out=`` kernels, same floating-point operation order per
+    element as the allocating version — the regression suite holds the picks
+    bit-identical).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> s = GreedySelector(np.eye(2), 2, seed=0)
+    >>> sorted(s.select(0))
+    [0, 1]
     """
 
     name = "greedy"
 
     def select(self, round_index: int) -> list[int]:
+        """Greedily grow the set whose population KL to uniform is minimal."""
         distributions = self.client_distributions
         log_uniform = np.log(self.uniform)
         first = int(self.rng.integers(self.n_clients))
@@ -119,13 +157,21 @@ class GreedySelector(ClientSelector):
         running = distributions[first].copy()  # running population sum, O(C) to update
         available = np.ones(self.n_clients, dtype=bool)
         available[first] = False
+        pop = np.empty_like(distributions)          # (N, C) candidate populations
+        term = np.empty_like(distributions)         # (N, C) per-class KL terms
+        sums = np.empty((self.n_clients, 1))
+        kl = np.empty(self.n_clients)
         while len(selected) < self.participants_per_round:
             # population distribution of every candidate joining, all N at once
-            candidate_pop = running[None, :] + distributions
-            candidate_pop /= candidate_pop.sum(axis=1, keepdims=True)
-            np.clip(candidate_pop, 1e-12, None, out=candidate_pop)
+            np.add(running[None, :], distributions, out=pop)
+            np.sum(pop, axis=1, keepdims=True, out=sums)
+            pop /= sums
+            np.clip(pop, 1e-12, None, out=pop)
             # KL(p_o || p_u) per candidate; taken clients cannot win the argmin
-            kl = np.sum(candidate_pop * (np.log(candidate_pop) - log_uniform), axis=1)
+            np.log(pop, out=term)
+            term -= log_uniform
+            term *= pop
+            np.sum(term, axis=1, out=kl)
             kl[~available] = np.inf
             best = int(np.argmin(kl))
             selected.append(best)
@@ -135,7 +181,26 @@ class GreedySelector(ClientSelector):
 
 
 class DubheSelector(ClientSelector):
-    """The Dubhe proactive, privacy-preserving selection strategy."""
+    """The Dubhe proactive, privacy-preserving selection strategy.
+
+    Registration, aggregation and probability computation all run on the
+    batch path (:meth:`RegistryCodebook.register_batch` → int64 index
+    arrays → one ``bincount`` → one vectorised eq. (6)), so constructing a
+    selector over N = 10^6 clients allocates O(N) integers, not N one-hot
+    vectors.  The per-client :attr:`registrations` list of the original
+    implementation is still available — materialised lazily on first access.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> config = DubheConfig(num_classes=2, reference_set=(1, 2),
+    ...                      thresholds={1: 0.9, 2: 0.0},
+    ...                      participants_per_round=2)
+    >>> s = DubheSelector(np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]]),
+    ...                   config, seed=0)
+    >>> s.overall_registry.tolist()
+    [1.0, 1.0, 1.0]
+    """
 
     name = "dubhe"
 
@@ -151,51 +216,72 @@ class DubheSelector(ClientSelector):
         self.config = config
         self.rebalance_to_k = rebalance_to_k
         self.codebook = RegistryCodebook(config)
-        self.registrations = self.codebook.register_many(self.client_distributions)
-        self.overall_registry = self.codebook.aggregate(self.registrations)
-        self.probabilities = participation_probabilities(
-            self.codebook, self.registrations, self.overall_registry,
-            config.participants_per_round,
-        )
+        self._register_all()
         self.last_result: Optional[MultiTimeResult] = None
+
+    def _register_all(self) -> None:
+        """Run Algorithm 1 + aggregation + eq. (6) over all clients, batched."""
+        self.registration_batch: BatchRegistration = self.codebook.register_batch(
+            self.client_distributions)
+        self._registrations: Optional[list[RegistrationResult]] = None
+        self.overall_registry = self.registration_batch.overall_registry()
+        self.probabilities = participation_probabilities(
+            self.codebook, self.registration_batch, self.overall_registry,
+            self.config.participants_per_round,
+        )
+
+    @property
+    def registrations(self) -> list[RegistrationResult]:
+        """Per-client :class:`RegistrationResult` list (materialised lazily).
+
+        Kept for compatibility with paper-scale callers; costs O(N·L) memory,
+        so million-client code should use :attr:`registration_batch` instead.
+        """
+        if self._registrations is None:
+            self._registrations = self.codebook.materialize_results(self.registration_batch)
+        return self._registrations
 
     # -- registration refresh -----------------------------------------------------
 
     def refresh_registrations(self, client_distributions: Optional[np.ndarray] = None) -> None:
         """Re-run registration (the paper's periodic re-registration)."""
         if client_distributions is not None:
-            distributions = np.asarray(client_distributions, dtype=float)
+            distributions = np.ascontiguousarray(client_distributions, dtype=np.float64)
             if distributions.shape != self.client_distributions.shape:
                 raise ValueError("new distributions must have the same shape")
             self.client_distributions = distributions
-        self.registrations = self.codebook.register_many(self.client_distributions)
-        self.overall_registry = self.codebook.aggregate(self.registrations)
-        self.probabilities = participation_probabilities(
-            self.codebook, self.registrations, self.overall_registry,
-            self.config.participants_per_round,
-        )
+        self._register_all()
 
     # -- one tentative draw ----------------------------------------------------------
 
-    def _tentative_draw(self, _h: int) -> list[int]:
-        """One proactive participation draw, topped up / trimmed to exactly K."""
+    def _tentative_draw(self, _h: int) -> np.ndarray:
+        """One proactive participation draw, topped up / trimmed to exactly K.
+
+        Array-native version of the original list-based draw: identical RNG
+        stream (one uniform block for the Bernoulli step, then the same
+        ``choice`` calls on the same arguments), so seeded selections match
+        the reference implementation element for element.
+        """
         volunteers = bernoulli_participation(self.probabilities, rng=self.rng)
-        pool = list(int(v) for v in volunteers)
+        pool = volunteers.astype(np.int64, copy=False)
         k = self.participants_per_round
         if not self.rebalance_to_k:
             return pool
-        if len(pool) > k:
-            keep = self.rng.choice(len(pool), size=k, replace=False)
-            pool = [pool[i] for i in keep]
-        elif len(pool) < k:
-            outside = np.setdiff1d(np.arange(self.n_clients), np.asarray(pool, dtype=int))
-            extra = self.rng.choice(outside, size=k - len(pool), replace=False)
-            pool.extend(int(e) for e in extra)
+        if pool.size > k:
+            keep = self.rng.choice(pool.size, size=k, replace=False)
+            pool = pool[keep]
+        elif pool.size < k:
+            inside = np.zeros(self.n_clients, dtype=bool)
+            inside[pool] = True
+            outside = np.flatnonzero(~inside)  # == setdiff1d(arange(N), pool)
+            extra = self.rng.choice(outside, size=k - pool.size, replace=False)
+            pool = np.concatenate([pool, extra])
         return pool
 
     # -- public API --------------------------------------------------------------------
 
     def select(self, round_index: int) -> list[int]:
+        """Run ``H`` tentative draws and keep the least-biased pool."""
         result = multi_time_selection(
             draw=self._tentative_draw,
             population_of=self.population_of,
@@ -204,7 +290,7 @@ class DubheSelector(ClientSelector):
             population_of_many=self.populations_of,
         )
         self.last_result = result
-        return list(result.best.candidate)
+        return [int(c) for c in result.best.candidate]
 
     @property
     def last_bias(self) -> float:

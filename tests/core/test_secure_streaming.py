@@ -1,0 +1,155 @@
+"""Streaming secure registration ≡ the monolithic round, bit-identically.
+
+``SecureRegistrationRound.run_stream`` must be a pure re-chunking of
+``run()``: same decrypted overall registry, same per-client registration
+indices, same message accounting — for the per-component path, the packed
+(count-packing) path, and the tree-aggregation server alike.  The suite
+also pins down the streaming-specific API contract: iterable inputs,
+``total_clients`` headroom validation, overrun/empty-stream errors, and the
+O(log N) fold depth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DubheConfig
+from repro.core.secure import (
+    SecureRegistrationRound,
+    StreamedRegistration,
+    iter_distribution_batches,
+)
+
+N_CLIENTS = 23
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DubheConfig(num_classes=6, reference_set=(1, 2, 6),
+                       thresholds={1: 0.6, 2: 0.1, 6: 0.0},
+                       participants_per_round=5, key_size=64,
+                       registration_batch_size=7)
+
+
+@pytest.fixture(scope="module")
+def distributions(config):
+    rng = np.random.default_rng(17)
+    return rng.dirichlet(np.full(config.num_classes, 0.4), size=N_CLIENTS)
+
+
+def run_both(config, distributions, **kwargs):
+    overall, registrations, stats = SecureRegistrationRound(
+        config, **kwargs).run(distributions)
+    streamed = SecureRegistrationRound(config, **kwargs).run_stream(
+        distributions)
+    return overall, registrations, stats, streamed
+
+
+class TestStreamEqualsRun:
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"packed": True},
+        {"aggregation": "tree", "arity": 3},
+        {"packed": True, "aggregation": "tree"},
+    ], ids=["per-component", "packed", "tree", "packed-tree"])
+    def test_overall_and_indices_identical(self, config, distributions,
+                                           kwargs):
+        overall, registrations, stats, streamed = run_both(
+            config, distributions, **kwargs)
+        assert isinstance(streamed, StreamedRegistration)
+        np.testing.assert_array_equal(streamed.overall, overall)
+        assert streamed.overall.sum() == N_CLIENTS
+        assert streamed.n_clients == N_CLIENTS
+        assert streamed.registration.indices.tolist() == \
+            [r.index for r in registrations]
+        assert streamed.registration.blocks.tolist() == \
+            [r.block for r in registrations]
+        # identical message accounting: N uploads seen by client and server
+        # sides plus N aggregate syncs
+        assert streamed.stats.messages == stats.messages == 3 * N_CLIENTS
+        assert streamed.stats.plaintext_bytes == stats.plaintext_bytes
+
+    def test_batching_is_invisible(self, config, distributions):
+        """Any chunking of the same clients produces the same result."""
+        baseline = SecureRegistrationRound(config).run_stream(distributions)
+        for batch_size in (1, 4, N_CLIENTS, 100):
+            chunks = iter_distribution_batches(distributions, batch_size)
+            streamed = SecureRegistrationRound(config).run_stream(
+                chunks, total_clients=N_CLIENTS)
+            np.testing.assert_array_equal(streamed.overall, baseline.overall)
+            np.testing.assert_array_equal(streamed.registration.indices,
+                                          baseline.registration.indices)
+
+    def test_num_batches_follows_config(self, config, distributions):
+        streamed = SecureRegistrationRound(config).run_stream(distributions)
+        assert streamed.num_batches == -(-N_CLIENTS // 7)
+
+    def test_precompute_noise_stream(self, config, distributions):
+        streamed = SecureRegistrationRound(
+            config, packed=True, precompute_noise=True).run_stream(
+            distributions)
+        reference = SecureRegistrationRound(config).run_stream(distributions)
+        np.testing.assert_array_equal(streamed.overall, reference.overall)
+        assert streamed.stats.noise_precompute_seconds > 0.0
+
+
+class TestFoldDepth:
+    def test_flat_depth_is_linear(self, config, distributions):
+        streamed = SecureRegistrationRound(config).run_stream(distributions)
+        assert streamed.fold_depth == N_CLIENTS - 1
+
+    def test_tree_depth_is_logarithmic(self, config):
+        rng = np.random.default_rng(3)
+        n = 64
+        distributions = rng.dirichlet(np.full(config.num_classes, 0.4), size=n)
+        streamed = SecureRegistrationRound(
+            config, aggregation="tree").run_stream(distributions)
+        assert streamed.fold_depth == 6  # 64 = 2^6 → a perfect binary tree
+        assert streamed.fold_depth < n - 1
+
+
+class TestStreamContract:
+    def test_iterable_with_ragged_chunks(self, config, distributions):
+        def ragged():
+            yield distributions[:1]
+            yield distributions[1:1]  # empty chunks are skipped, not counted
+            yield distributions[1:20]
+            yield distributions[20:]
+
+        streamed = SecureRegistrationRound(config).run_stream(
+            ragged(), total_clients=N_CLIENTS)
+        reference = SecureRegistrationRound(config).run_stream(distributions)
+        np.testing.assert_array_equal(streamed.overall, reference.overall)
+        assert streamed.num_batches == 3
+
+    def test_packed_iterable_requires_total_clients(self, config,
+                                                    distributions):
+        chunks = iter_distribution_batches(distributions, 8)
+        with pytest.raises(ValueError, match="total_clients"):
+            SecureRegistrationRound(config, packed=True).run_stream(chunks)
+
+    def test_overrunning_total_clients_is_an_error(self, config,
+                                                   distributions):
+        chunks = iter_distribution_batches(distributions, 8)
+        with pytest.raises(ValueError, match="more than total_clients"):
+            SecureRegistrationRound(config).run_stream(
+                chunks, total_clients=N_CLIENTS - 1)
+
+    def test_empty_stream_is_an_error(self, config):
+        with pytest.raises(ValueError, match="no client distributions"):
+            SecureRegistrationRound(config).run_stream(iter([]))
+
+    def test_invalid_inputs_rejected(self, config, distributions):
+        round_ = SecureRegistrationRound(config)
+        with pytest.raises(ValueError, match="2-D"):
+            round_.run_stream(distributions[0])
+        with pytest.raises(ValueError, match="shape"):
+            round_.run_stream(iter([distributions[:, :3]]),
+                              total_clients=N_CLIENTS)
+        with pytest.raises(ValueError, match="total_clients"):
+            round_.run_stream(distributions, total_clients=0)
+
+    def test_invalid_round_configuration(self, config):
+        with pytest.raises(ValueError):
+            SecureRegistrationRound(config, aggregation="ring")
+        with pytest.raises(ValueError):
+            SecureRegistrationRound(config, arity=1)

@@ -1,0 +1,206 @@
+"""Property tests: tree aggregation ≡ flat fold, bit-identically.
+
+Paillier addition is ciphertext multiplication mod n² — associative and
+commutative — so ANY fold shape must yield the very same ciphertext
+integers as the flat left-to-right accumulator.  These tests assert that
+exact integer identity (not just equal decryptions) for arbitrary
+(N, arity, packing width), including N not a multiple of the arity and
+single-client trees, plus the O(log N) depth bounds of the streaming
+aggregator.
+"""
+
+import random
+from math import ceil, log
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from _hypothesis_support import scaled_max_examples
+
+from repro.core.secure import SecureAggregationServer
+from repro.crypto.packing import (
+    PackedEncryptedVector,
+    PackingScheme,
+    StreamingTreeAggregator,
+    tree_sum,
+)
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.vector import EncryptedVector
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(key_size=64, rng=random.Random(99))
+
+
+@pytest.fixture(scope="module")
+def pk(keypair):
+    return keypair.public_key
+
+
+@pytest.fixture(scope="module")
+def sk(keypair):
+    return keypair.private_key
+
+
+def _packed_vectors(pk, n, length, values_seed, max_weight):
+    rng = np.random.default_rng(values_seed)
+    scheme = PackingScheme.for_counts(pk, length, max_weight=max_weight)
+    rows = rng.integers(0, 2, size=(n, length)).astype(float)
+    return [PackedEncryptedVector.encrypt(pk, row, scheme=scheme)
+            for row in rows]
+
+
+class TestTreeSumEquivalence:
+    @settings(max_examples=scaled_max_examples(20), deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        arity=st.integers(min_value=2, max_value=5),
+        length=st.integers(min_value=1, max_value=20),
+        values_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_tree_equals_flat_bit_identically(self, pk, n, arity, length,
+                                              values_seed):
+        vectors = _packed_vectors(pk, n, length, values_seed, max_weight=64)
+        flat = PackedEncryptedVector.sum(vectors)
+        tree = tree_sum(vectors, arity=arity)
+        assert tree.ciphertexts == flat.ciphertexts  # exact integers
+        assert tree.weight == flat.weight
+
+    @settings(max_examples=scaled_max_examples(20), deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        arity=st.integers(min_value=2, max_value=5),
+        length=st.integers(min_value=1, max_value=20),
+        values_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_streaming_aggregator_equals_flat(self, pk, n, arity, length,
+                                              values_seed):
+        vectors = _packed_vectors(pk, n, length, values_seed, max_weight=64)
+        flat = PackedEncryptedVector.sum(vectors)
+        agg = StreamingTreeAggregator(arity=arity)
+        for v in vectors:
+            agg.push(v)
+        combined = agg.combined()
+        assert combined.ciphertexts == flat.ciphertexts
+        assert combined.weight == flat.weight
+        assert agg.count == n
+
+    def test_inputs_never_mutated(self, pk, sk):
+        vectors = _packed_vectors(pk, 7, 4, values_seed=3, max_weight=16)
+        snapshots = [list(v.ciphertexts) for v in vectors]
+        tree_sum(vectors, arity=3)
+        agg = StreamingTreeAggregator(arity=2)
+        for v in vectors:
+            agg.push(v)
+        agg.combined()
+        assert [list(v.ciphertexts) for v in vectors] == snapshots
+
+    def test_per_component_vectors_fold_too(self, pk, sk):
+        rng = np.random.default_rng(5)
+        rows = rng.random((9, 3))
+        vectors = [EncryptedVector.encrypt(pk, row) for row in rows]
+        flat = EncryptedVector.sum(vectors)
+        tree = tree_sum(vectors, arity=3)
+        assert tree.ciphertexts == flat.ciphertexts
+        np.testing.assert_array_equal(tree.decrypt(sk), flat.decrypt(sk))
+
+    def test_invalid_arguments(self, pk):
+        vectors = _packed_vectors(pk, 2, 2, values_seed=0, max_weight=4)
+        with pytest.raises(ValueError):
+            tree_sum([], arity=2)
+        with pytest.raises(ValueError):
+            tree_sum(vectors, arity=1)
+        with pytest.raises(ValueError):
+            StreamingTreeAggregator(arity=1)
+        with pytest.raises(ValueError):
+            StreamingTreeAggregator(arity=2).combined()
+
+
+class TestStreamingDepth:
+    def test_single_client_tree(self, pk):
+        agg = StreamingTreeAggregator(arity=2)
+        (vector,) = _packed_vectors(pk, 1, 3, values_seed=1, max_weight=4)
+        agg.push(vector)
+        assert agg.depth == 0
+        assert agg.partials == 1
+        assert agg.combined().ciphertexts == vector.ciphertexts
+
+    @pytest.mark.parametrize("arity,m", [(2, 1), (2, 3), (2, 6), (3, 2), (4, 2)])
+    def test_exact_power_depth(self, arity, m):
+        # N = arity^m merges into one partial of depth m * (arity - 1)
+        agg = StreamingTreeAggregator(arity=arity)
+        probe = _probe()
+        for _ in range(arity**m):
+            agg.push(probe)
+        assert agg.partials == 1
+        assert agg.depth == m * (arity - 1)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 100, 1000, 12345])
+    def test_logarithmic_depth_bound(self, n):
+        agg = StreamingTreeAggregator(arity=2)
+        probe = _probe()
+        for _ in range(n):
+            agg.push(probe)
+        assert agg.count == n
+        # binary counter: ceil(log2 N) levels, plus at most one extra
+        # addition per level when combining the leftover partials
+        bound = 2 * ceil(log(n, 2)) + 1 if n > 1 else 0
+        assert agg.depth <= bound
+        assert agg.partials <= ceil(log(n, 2)) + 1 if n > 1 else 1
+
+    def test_reset_clears_state(self, pk):
+        agg = StreamingTreeAggregator(arity=2)
+        for v in _packed_vectors(pk, 5, 2, values_seed=2, max_weight=8):
+            agg.push(v)
+        agg.reset()
+        assert agg.count == 0 and agg.partials == 0 and agg.depth == 0
+        with pytest.raises(ValueError):
+            agg.combined()
+
+
+def _probe():
+    class Probe:
+        def copy(self):
+            return self
+
+        def add_(self, other):
+            return self
+
+    return Probe()
+
+
+class TestServerTreeMode:
+    def test_tree_server_matches_flat_server(self, pk, sk):
+        vectors = _packed_vectors(pk, 13, 6, values_seed=9, max_weight=32)
+        flat_server = SecureAggregationServer(pk)
+        tree_server = SecureAggregationServer(pk, aggregation="tree", arity=3)
+        for v in vectors:
+            flat_server.receive(v)
+            tree_server.receive(v)
+        flat_total = flat_server.aggregate()
+        tree_total = tree_server.aggregate()
+        assert tree_total.ciphertexts == flat_total.ciphertexts
+        np.testing.assert_array_equal(tree_total.decrypt(sk),
+                                      flat_total.decrypt(sk))
+        assert flat_server.fold_depth == 12
+        assert tree_server.fold_depth < 12
+
+    def test_invalid_aggregation_mode(self, pk):
+        with pytest.raises(ValueError):
+            SecureAggregationServer(pk, aggregation="ring")
+
+    def test_reset_restarts_tree(self, pk, sk):
+        server = SecureAggregationServer(pk, aggregation="tree")
+        first = _packed_vectors(pk, 3, 2, values_seed=4, max_weight=8)
+        for v in first:
+            server.receive(v)
+        server.reset()
+        assert server.received_count == 0
+        second = _packed_vectors(pk, 2, 2, values_seed=6, max_weight=8)
+        for v in second:
+            server.receive(v)
+        expected = PackedEncryptedVector.sum(second)
+        assert server.aggregate().ciphertexts == expected.ciphertexts

@@ -37,6 +37,28 @@ def crypto_payload(encrypt=400.0):
     }
 
 
+def registry_payload(speedup=80.0, reduction=7.8, with_reduction=True,
+                     n=10000, count_packing=7):
+    memory = {"streaming_peak_mb": 1.1, "materialized_clients": 10000,
+              "materialized_peak_mb": 8.5,
+              "reduction": reduction if with_reduction else None}
+    return {
+        "benchmark": "registry_scale",
+        "results": [
+            {"n": n, "batch_size": 4096, "num_classes": 10,
+             "codebook_length": 56,
+             "registration": {"batch_s": 0.004, "clients_per_s": 2.2e6,
+                              "loop_clients": 10000, "loop_s": 0.35},
+             "memory": memory,
+             "tree": {"arity": 2, "fold_depth": 14, "flat_depth": n - 1},
+             "speedup": {"register_batch": speedup}},
+        ],
+        "secure": {"n_clients": 1024, "key_size": 128,
+                   "ciphertexts_per_client": {"default_packing": 28,
+                                              "count_packing": count_packing}},
+    }
+
+
 def write(tmp_path, name, payload):
     path = tmp_path / name
     path.write_text(json.dumps(payload))
@@ -93,12 +115,43 @@ class TestExtractMetrics:
         assert compare_bench.main(["--baseline", baseline,
                                    "--candidate", candidate]) == 0
 
+    def test_registry_metrics(self):
+        metrics = compare_bench.extract_metrics(registry_payload())
+        assert metrics["registry/n=10000/speedup/register_batch"]["value"] == 80.0
+        assert metrics["registry/n=10000/speedup/register_batch"]["workload"] == {
+            "batch_size": 4096, "num_classes": 10, "loop_clients": 10000}
+        assert metrics["registry/n=10000/memory/reduction"]["value"] == 7.8
+        assert metrics["registry/secure/packing_ciphertext_ratio"]["value"] == \
+            pytest.approx(4.0)
+
+    def test_registry_null_reduction_not_gated(self):
+        # at full scale the materialised comparison run is capped, so the
+        # reduction ratio is recorded as null — it must not become a metric
+        metrics = compare_bench.extract_metrics(
+            registry_payload(with_reduction=False, n=1000000))
+        assert "registry/n=1000000/memory/reduction" not in metrics
+        assert "registry/n=1000000/speedup/register_batch" in metrics
+
+    def test_registry_gate_catches_vectorisation_regression(self, tmp_path):
+        baseline = write(tmp_path, "base.json", registry_payload(speedup=80.0))
+        candidate = write(tmp_path, "cand.json", registry_payload(speedup=8.0))
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--candidate", candidate]) == 1
+
+    def test_registry_gate_catches_packing_regression(self, tmp_path):
+        baseline = write(tmp_path, "base.json", registry_payload())
+        candidate = write(tmp_path, "cand.json",
+                          registry_payload(count_packing=28))
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--candidate", candidate]) == 1
+
     def test_unknown_payload_is_empty(self):
         assert compare_bench.extract_metrics({"benchmark": "other"}) == {}
 
     def test_real_committed_baselines_have_metrics(self):
         root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        for name in ("BENCH_sim.json", "BENCH_crypto.json"):
+        for name in ("BENCH_sim.json", "BENCH_crypto.json",
+                     "BENCH_registry.json"):
             with open(os.path.join(root, name)) as fh:
                 assert compare_bench.extract_metrics(json.load(fh))
 

@@ -24,7 +24,12 @@ import pytest
 
 import repro.api
 import repro.api.session
+import repro.core.multitime
+import repro.core.probability
+import repro.core.registry
 import repro.core.retry
+import repro.core.secure
+import repro.core.selectors
 import repro.crypto.packing
 import repro.federated
 import repro.federated.aggregation
@@ -57,7 +62,12 @@ import repro.transport.wire
 AUDITED_MODULES = [
     repro.api,
     repro.api.session,
+    repro.core.multitime,
+    repro.core.probability,
+    repro.core.registry,
     repro.core.retry,
+    repro.core.secure,
+    repro.core.selectors,
     repro.federated,
     repro.federated.aggregation,
     repro.federated.client,
